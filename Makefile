@@ -1,0 +1,49 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ .
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -run XXX -bench=. -benchmem .
+
+# Short fuzzing passes over the three parsers (regression seeds always run
+# as part of `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/oql/
+	$(GO) test -fuzz=FuzzReadTSV -fuzztime=30s ./internal/hinio/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/aminer/
+
+# Regenerate every paper table and figure (EXPERIMENTS.md documents the
+# expected shapes). The paper-scale run:
+experiments:
+	$(GO) run ./cmd/experiments -run all -scale 2 -queries 10000 -csv results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/measures
+	$(GO) run ./examples/dblp
+	$(GO) run ./examples/security
+	$(GO) run ./examples/movies
+	$(GO) run ./examples/relational
+	$(GO) run ./examples/progressive
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,440 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark per table
+// and figure. The graph fixture is a synthetic DBLP-like network (scale 1
+// by default; set NETOUT_BENCH_SCALE to grow it). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table mapping:
+//
+//	BenchmarkTable2Toy        — Table 2 (toy measure comparison)
+//	BenchmarkTable3Measures   — Table 3 (hub query under the 3 measures)
+//	BenchmarkTable5Queries    — Table 5 (the three case-study queries)
+//	BenchmarkFig3Strategies   — Figure 3 (Q1-Q3 × Baseline/PM/SPM, per query)
+//	BenchmarkFig4Breakdown    — Figure 4 (SPM stage breakdown, metrics reported)
+//	BenchmarkFig5Threshold    — Figure 5 (SPM threshold sweep, index bytes reported)
+//	BenchmarkLOFBaseline      — Section 8 (LOF over candidate vectors)
+//	BenchmarkPMBuild/SPMBuild — index construction cost (setup phase of Fig 3)
+package netout_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"netout"
+)
+
+type benchFixture struct {
+	graph    *netout.Graph
+	manifest *netout.Manifest
+	// 100 instantiated queries per template name.
+	sets map[string][]string
+	pm   netout.Materializer
+	spm  map[string]netout.Materializer // per template, θ=0.01
+}
+
+var (
+	fixtureOnce sync.Once
+	fixture     *benchFixture
+)
+
+func getFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		scale := 1
+		if s := os.Getenv("NETOUT_BENCH_SCALE"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				scale = v
+			}
+		}
+		cfg := netout.ScaledGenConfig(scale)
+		cfg.Seed = 1
+		g, man, err := netout.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		names, err := netout.RandomVertexNames(g, "author", 100, 42)
+		if err != nil {
+			panic(err)
+		}
+		f := &benchFixture{
+			graph:    g,
+			manifest: man,
+			sets:     map[string][]string{},
+			spm:      map[string]netout.Materializer{},
+		}
+		for _, tpl := range netout.PaperTemplates() {
+			f.sets[tpl.Name] = netout.BuildQuerySet(tpl, names)
+		}
+		f.pm = netout.NewPM(g)
+		for name, qs := range f.sets {
+			spm, err := netout.NewSPM(g, qs, netout.SPMConfig{Threshold: 0.01})
+			if err != nil {
+				panic(err)
+			}
+			f.spm[name] = spm
+		}
+		fixture = f
+	})
+	return fixture
+}
+
+// toyVectors builds the Table 1 candidate and reference vectors.
+func toyVectors() (cands, refs []netout.Vector) {
+	vec := func(rec [4]float64) netout.Vector {
+		var idx []int32
+		var val []float64
+		for i, c := range rec {
+			if c != 0 {
+				idx = append(idx, int32(i))
+				val = append(val, c)
+			}
+		}
+		return netout.Vector{Idx: idx, Val: val}
+	}
+	for _, rec := range [][4]float64{
+		{10, 10, 1, 1}, {0, 1, 20, 20}, {0, 5, 10, 10}, {0, 0, 0, 2}, {0, 0, 0, 30},
+	} {
+		cands = append(cands, vec(rec))
+	}
+	refs = make([]netout.Vector, 100)
+	for i := range refs {
+		refs[i] = vec([4]float64{10, 10, 1, 1})
+	}
+	return
+}
+
+// BenchmarkTable2Toy measures scoring the Table 1 toy data under each
+// measure (Table 2).
+func BenchmarkTable2Toy(b *testing.B) {
+	cands, refs := toyVectors()
+	for _, m := range []netout.Measure{netout.MeasureNetOut, netout.MeasurePathSim, netout.MeasureCosSim} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = netout.ScoreVectors(m, cands, refs)
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Measures runs the hub-coauthor venue query under each
+// measure (Table 3).
+func BenchmarkTable3Measures(b *testing.B) {
+	f := getFixture(b)
+	src := fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue TOP 5;`, f.manifest.Hub)
+	for _, m := range []netout.Measure{netout.MeasureNetOut, netout.MeasurePathSim, netout.MeasureCosSim} {
+		b.Run(m.String(), func(b *testing.B) {
+			eng := netout.NewEngine(f.graph, netout.WithMeasure(m))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5Queries runs the three case-study queries (Table 5).
+func BenchmarkTable5Queries(b *testing.B) {
+	f := getFixture(b)
+	queries := map[string]string{
+		"HubByVenue":    fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue TOP 10;`, f.manifest.Hub),
+		"HubByCoauthor": fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.author TOP 10;`, f.manifest.Hub),
+		"VenueAuthors":  fmt.Sprintf(`FIND OUTLIERS FROM venue{%q}.paper.author JUDGED BY author.paper.venue TOP 10;`, f.manifest.MainVenue),
+	}
+	for name, src := range queries {
+		b.Run(name, func(b *testing.B) {
+			eng := netout.NewEngine(f.graph)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Strategies measures per-query execution time for each
+// template under each strategy (Figure 3).
+func BenchmarkFig3Strategies(b *testing.B) {
+	f := getFixture(b)
+	for _, tpl := range netout.PaperTemplates() {
+		qs := f.sets[tpl.Name]
+		strategies := map[string]func() netout.Materializer{
+			"Baseline": func() netout.Materializer { return netout.NewBaseline(f.graph) },
+			"PM":       func() netout.Materializer { return f.pm },
+			"SPM":      func() netout.Materializer { return f.spm[tpl.Name] },
+			"Cached": func() netout.Materializer {
+				mat, err := netout.NewCached(f.graph, 64<<20)
+				if err != nil {
+					panic(err)
+				}
+				return mat
+			},
+		}
+		for _, strat := range []string{"Baseline", "PM", "SPM", "Cached"} {
+			b.Run(tpl.Name+"/"+strat, func(b *testing.B) {
+				eng := netout.NewEngine(f.graph, netout.WithMaterializer(strategies[strat]()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Execute(qs[i%len(qs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Breakdown runs the Q1 set under SPM and reports the stage
+// shares as custom metrics (Figure 4).
+func BenchmarkFig4Breakdown(b *testing.B) {
+	f := getFixture(b)
+	qs := f.sets["Q1"]
+	eng := netout.NewEngine(f.graph, netout.WithMaterializer(f.spm["Q1"]))
+	var agg netout.Timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Execute(qs[i%len(qs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg.NotIndexed += res.Timing.NotIndexed
+		agg.Indexed += res.Timing.Indexed
+		agg.Scoring += res.Timing.Scoring
+	}
+	b.ReportMetric(float64(agg.NotIndexed.Nanoseconds())/float64(b.N), "notIndexed-ns/op")
+	b.ReportMetric(float64(agg.Indexed.Nanoseconds())/float64(b.N), "indexed-ns/op")
+	b.ReportMetric(float64(agg.Scoring.Nanoseconds())/float64(b.N), "scoring-ns/op")
+}
+
+// BenchmarkFig5Threshold measures per-query time for the Q1 set at each SPM
+// threshold, reporting the index size as a metric (Figure 5).
+func BenchmarkFig5Threshold(b *testing.B) {
+	f := getFixture(b)
+	qs := f.sets["Q1"]
+	for _, th := range []float64{0.001, 0.01, 0.05, 0.1} {
+		b.Run(fmt.Sprintf("theta=%g", th), func(b *testing.B) {
+			spm, err := netout.NewSPM(f.graph, qs, netout.SPMConfig{Threshold: th})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := netout.NewEngine(f.graph, netout.WithMaterializer(spm))
+			b.ReportMetric(float64(spm.IndexBytes()), "index-bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLOFBaseline measures LOF over the hub candidate vectors
+// (Section 8's comparison).
+func BenchmarkLOFBaseline(b *testing.B) {
+	f := getFixture(b)
+	eng := netout.NewEngine(f.graph)
+	q, err := netout.ParseQuery(fmt.Sprintf(
+		`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue;`, f.manifest.Hub))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands, err := eng.EvalSet(q.From)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := netout.NewTraverser(f.graph)
+	p, _ := netout.ParseMetaPath(f.graph.Schema(), "author.paper.venue")
+	var vecs []netout.Vector
+	for _, v := range cands {
+		vec, err := tr.NeighborVector(p, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vecs = append(vecs, vec)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netout.LOFScores(vecs, netout.LOFOptions{K: 5, Distance: netout.CosineDistance}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPMBuild measures full pre-materialization (the offline phase of
+// Figure 3's PM strategy).
+func BenchmarkPMBuild(b *testing.B) {
+	f := getFixture(b)
+	for i := 0; i < b.N; i++ {
+		mat := netout.NewPM(f.graph)
+		b.ReportMetric(float64(mat.IndexBytes()), "index-bytes")
+	}
+}
+
+// BenchmarkSPMBuild measures selective pre-materialization at θ=0.01.
+func BenchmarkSPMBuild(b *testing.B) {
+	f := getFixture(b)
+	qs := f.sets["Q1"]
+	for i := 0; i < b.N; i++ {
+		mat, err := netout.NewSPM(f.graph, qs, netout.SPMConfig{Threshold: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(mat.IndexBytes()), "index-bytes")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the core primitives.
+
+func BenchmarkNeighborVector(b *testing.B) {
+	f := getFixture(b)
+	tr := netout.NewTraverser(f.graph)
+	author, _ := f.graph.Schema().TypeByName("author")
+	hub, _ := f.graph.VertexByName(author, f.manifest.Hub)
+	for _, dotted := range []string{"author.paper.venue", "author.paper.author", "author.paper.term"} {
+		p, err := netout.ParseMetaPath(f.graph.Schema(), dotted)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(dotted, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.NeighborVector(p, hub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParseQuery(b *testing.B) {
+	src := `FIND OUTLIERS
+FROM venue{"SIGMOD"}.paper.author AS A WHERE COUNT(A.paper) >= 5
+COMPARED TO venue{"KDD"}.paper.author
+JUDGED BY author.paper.author, author.paper.term : 3.0
+TOP 50;`
+	for i := 0; i < b.N; i++ {
+		if _, err := netout.ParseQuery(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseDot(b *testing.B) {
+	f := getFixture(b)
+	tr := netout.NewTraverser(f.graph)
+	author, _ := f.graph.Schema().TypeByName("author")
+	hub, _ := f.graph.VertexByName(author, f.manifest.Hub)
+	p, _ := netout.ParseMetaPath(f.graph.Schema(), "author.paper.author")
+	v, err := tr.NeighborVector(p, hub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Dot(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for design choices called out in DESIGN.md.
+
+// BenchmarkAblationCombination compares the two multi-path combination
+// modes of Section 5.1 on a two-feature query.
+func BenchmarkAblationCombination(b *testing.B) {
+	f := getFixture(b)
+	src := fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author
+JUDGED BY author.paper.venue, author.paper.author : 2.0 TOP 10;`, f.manifest.Hub)
+	for _, c := range []netout.Combination{netout.CombineAverage, netout.CombineConcat} {
+		b.Run(c.String(), func(b *testing.B) {
+			eng := netout.NewEngine(f.graph, netout.WithCombination(c))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchWorkers measures batch throughput scaling with the
+// worker pool size over the Q1 query set (shared PM index).
+func BenchmarkAblationBatchWorkers(b *testing.B) {
+	f := getFixture(b)
+	qs := f.sets["Q1"]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := netout.ExecuteBatch(f.graph, qs, netout.BatchOptions{
+					Workers:      workers,
+					Materializer: f.pm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, br := range results {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProgressiveChunk measures the progressive executor at
+// different chunk sizes against the exact Equation (1) execution.
+func BenchmarkAblationProgressiveChunk(b *testing.B) {
+	f := getFixture(b)
+	src := fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue TOP 10;`, f.manifest.Hub)
+	b.Run("exact", func(b *testing.B) {
+		eng := netout.NewEngine(f.graph)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, chunk := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("progressive/chunk=%d", chunk), func(b *testing.B) {
+			eng := netout.NewEngine(f.graph)
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.ExecuteProgressive(src, netout.ProgressiveOptions{ChunkSize: chunk}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExplain measures the per-candidate explanation cost.
+func BenchmarkExplain(b *testing.B) {
+	f := getFixture(b)
+	src := fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue;`, f.manifest.Hub)
+	eng := netout.NewEngine(f.graph)
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Explain(src, f.manifest.Hub, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuggestFeatures measures the query-suggestion sweep.
+func BenchmarkSuggestFeatures(b *testing.B) {
+	f := getFixture(b)
+	src := fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue;`, f.manifest.Hub)
+	eng := netout.NewEngine(f.graph, netout.WithMaterializer(f.pm))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SuggestFeatures(src, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

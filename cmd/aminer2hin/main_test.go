@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netout"
+)
+
+const sampleDump = `#* Mining Outliers in Large Graphs
+#@ Ada Lovelace;Charles Babbage
+#c KDD
+#index 1
+
+#* An Authorless Record
+#c KDD
+#index 2
+`
+
+func TestRun(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "dump.txt")
+	outPath := filepath.Join(dir, "net.tsv")
+	if err := os.WriteFile(inPath, []byte(sampleDump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", inPath, "-out", outPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote "+outPath) {
+		t.Fatalf("output = %q", out.String())
+	}
+	g, err := netout.LoadGraph(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Schema().TypeByName("author")
+	if _, ok := g.VertexByName(a, "NULL"); !ok {
+		t.Fatal("NULL author missing (default -null-author)")
+	}
+	if _, ok := g.VertexByName(a, "Ada Lovelace"); !ok {
+		t.Fatal("Ada missing")
+	}
+}
+
+func TestRunWithoutNullAuthor(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "dump.txt")
+	outPath := filepath.Join(dir, "net.json")
+	if err := os.WriteFile(inPath, []byte(sampleDump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", inPath, "-out", outPath, "-null-author=false", "-stats=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := netout.LoadGraph(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Schema().TypeByName("author")
+	if _, ok := g.VertexByName(a, "NULL"); ok {
+		t.Fatal("NULL author present despite -null-author=false")
+	}
+	if strings.Contains(out.String(), "gini=") {
+		t.Fatal("stats printed despite -stats=false")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-in", "/missing", "-out", "/tmp/x.tsv"}, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("#z nope\n"), 0o644)
+	if err := run([]string{"-in", bad, "-out", filepath.Join(dir, "x.tsv")}, &out); err == nil {
+		t.Error("malformed dump accepted")
+	}
+	good := filepath.Join(dir, "good.txt")
+	os.WriteFile(good, []byte(sampleDump), 0o644)
+	if err := run([]string{"-in", good, "-out", "/nonexistent-dir/x.tsv"}, &out); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestHarnessEndToEnd drives every experiment at a tiny scale: the
+// experiment functions terminate the process on any error (log.Fatal), so
+// completing the run is the assertion. Output goes to the test's stdout.
+func TestHarnessEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	h := &harness{scale: 1, seed: 1, queries: 60, csvDir: t.TempDir()}
+	// The lof experiment is exercised by `go run ./cmd/experiments -run lof`
+	// and by the internal walk/eval tests; its SimRank/PPR baselines are too
+	// slow for the default test path, so it is omitted here.
+	for name, fn := range map[string]func(){
+		"table2":   h.table2,
+		"table3":   h.table3,
+		"table5":   h.table5,
+		"fig4":     h.fig4,
+		"fig5":     h.fig5,
+		"ablation": h.ablation,
+	} {
+		t.Run(name, func(t *testing.T) { fn() })
+	}
+	// fig3 last: it builds the full PM index (the expensive step).
+	t.Run("fig3", func(t *testing.T) { h.fig3() })
+}

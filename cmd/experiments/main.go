@@ -1,0 +1,131 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 5's worked example and Section 7's case studies and
+// efficiency studies) on a synthetic DBLP-like network.
+//
+// Usage:
+//
+//	experiments -run all                       # everything
+//	experiments -run table2                    # Table 2: toy measure comparison
+//	experiments -run table3                    # Table 3: measure comparison on the hub query
+//	experiments -run table5                    # Table 5: case studies
+//	experiments -run fig3 -queries 10000       # Fig 3: Baseline vs PM vs SPM
+//	experiments -run fig4                      # Fig 4: SPM time breakdown
+//	experiments -run fig5                      # Fig 5: SPM threshold sweep
+//	experiments -run lof                       # Section 8: LOF comparison
+//
+// The -scale flag grows the background network; -queries sets the query-set
+// size used by the efficiency experiments (the paper uses 10,000).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"netout"
+)
+
+type harness struct {
+	scale   int
+	seed    int64
+	queries int
+	csvDir  string
+
+	graph    *netout.Graph
+	manifest *netout.Manifest
+}
+
+// writeCSV emits a CSV artifact into the -csv directory (no-op when unset).
+func (h *harness) writeCSV(name string, fill func(w *csv.Writer)) {
+	if h.csvDir == "" {
+		return
+	}
+	path := filepath.Join(h.csvDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := csv.NewWriter(f)
+	fill(w)
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(wrote %s)\n", path)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run     = flag.String("run", "all", "experiment: all, table2, table3, table5, fig3, fig4, fig5, lof, ablation")
+		scale   = flag.Int("scale", 2, "background network scale factor")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		queries = flag.Int("queries", 2000, "query-set size for the efficiency experiments (paper: 10000)")
+		csvDir  = flag.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	h := &harness{scale: *scale, seed: *seed, queries: *queries, csvDir: *csvDir}
+	experiments := map[string]func(){
+		"table2":   h.table2,
+		"table3":   h.table3,
+		"table5":   h.table5,
+		"fig3":     h.fig3,
+		"fig4":     h.fig4,
+		"fig5":     h.fig5,
+		"lof":      h.lof,
+		"ablation": h.ablation,
+	}
+	order := []string{"table2", "table3", "table5", "fig3", "fig4", "fig5", "lof", "ablation"}
+
+	if *run == "all" {
+		for _, name := range order {
+			experiments[name]()
+		}
+		return
+	}
+	fn, ok := experiments[*run]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; want one of all %s\n", *run, strings.Join(order, " "))
+		os.Exit(2)
+	}
+	fn()
+}
+
+// network lazily generates the shared synthetic network.
+func (h *harness) network() (*netout.Graph, *netout.Manifest) {
+	if h.graph == nil {
+		fmt.Printf("## generating synthetic DBLP network (scale %d, seed %d)\n", h.scale, h.seed)
+		cfg := netout.ScaledGenConfig(h.scale)
+		cfg.Seed = h.seed
+		g, man, err := netout.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := g.Stats()
+		fmt.Printf("   %d authors, %d papers, %d venues, %d terms; %d directed edges\n\n",
+			st.PerType["author"], st.PerType["paper"], st.PerType["venue"], st.PerType["term"],
+			st.EdgesDirected)
+		h.graph, h.manifest = g, man
+	}
+	return h.graph, h.manifest
+}
+
+func header(title string) {
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 78))
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{5, 1, 3, 2, 4} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.5, 3}, {0.95, 5}, {0.99, 5}, {0.2, 1}, {1.0, 5},
+	}
+	for _, c := range cases {
+		if got := percentile(lats, c.p); got != c.want {
+			t.Errorf("percentile(%.2f) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	// The input must not be reordered.
+	if lats[0] != 5 || lats[4] != 4 {
+		t.Error("percentile mutated its input")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	h := &harness{csvDir: dir}
+	h.writeCSV("out.csv", func(w *csv.Writer) {
+		w.Write([]string{"a", "b"})
+		w.Write([]string{"1", "2"})
+	})
+	data, err := os.ReadFile(filepath.Join(dir, "out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", got)
+	}
+	// Unset directory is a no-op.
+	h2 := &harness{}
+	h2.writeCSV("ignored.csv", func(w *csv.Writer) { w.Write([]string{"x"}) })
+	if _, err := os.Stat("ignored.csv"); err == nil {
+		t.Fatal("writeCSV wrote despite unset csvDir")
+	}
+}
+
+func TestHeader(t *testing.T) {
+	// header prints to stdout; just ensure it does not panic and the
+	// separator width is stable.
+	header("test title")
+	if w := strings.Repeat("=", 78); len(w) != 78 {
+		t.Fatal("unexpected")
+	}
+}

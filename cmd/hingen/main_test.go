@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netout"
+)
+
+func TestRun(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.tsv")
+	manPath := filepath.Join(dir, "manifest.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", netPath,
+		"-manifest", manPath,
+		"-papers", "150",
+		"-authors", "20",
+		"-stats",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"generated:", "author", "gini=", "wrote " + netPath, "wrote " + manPath} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	g, err := netout.LoadGraph(netPath)
+	if err != nil {
+		t.Fatalf("generated network unreadable: %v", err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty network")
+	}
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man netout.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatalf("manifest not JSON: %v", err)
+	}
+	if man.Hub == "" {
+		t.Fatal("manifest missing hub")
+	}
+}
+
+func TestRunNoPlants(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.json")
+	var out bytes.Buffer
+	if err := run([]string{"-out", netPath, "-papers", "100", "-authors", "15", "-no-plants"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := netout.LoadGraph(netPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Schema().TypeByName("author")
+	if _, ok := g.VertexByName(a, "Christos Hub"); ok {
+		t.Fatal("plants present despite -no-plants")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x.tsv", "-papers", "50", "-authors", "10"}, &out); err == nil {
+		t.Error("unwritable output accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x.tsv"), "-communities", "1"}, &out); err == nil {
+		t.Error("invalid generator config accepted")
+	}
+}

@@ -1,0 +1,519 @@
+// Command netout runs outlier queries against a heterogeneous information
+// network.
+//
+// Usage:
+//
+//	netout -net network.tsv -query 'FIND OUTLIERS FROM ... JUDGED BY ...;'
+//	netout -net network.tsv -file queries.oql
+//	netout -net network.tsv                # REPL: statements from stdin
+//	netout -gen 2 -query '...'             # run against a generated network
+//
+// Flags select the outlierness measure (-measure netout|pathsim|cossim) and
+// the materialization strategy (-strategy baseline|pm|spm). SPM warms its
+// index from the supplied query file (or the single -query).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"netout"
+	"netout/internal/trie"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netout: ")
+	var (
+		netPath     = flag.String("net", "", "network file (.tsv or .json)")
+		genScale    = flag.Int("gen", 0, "generate a synthetic DBLP network at this scale instead of loading one")
+		genSeed     = flag.Int64("seed", 1, "generator seed (with -gen)")
+		queryText   = flag.String("query", "", "single query to execute")
+		queryFile   = flag.String("file", "", "file of ;-separated queries to execute")
+		measure     = flag.String("measure", "netout", "outlierness measure: netout, pathsim or cossim")
+		strategy    = flag.String("strategy", "baseline", "materialization strategy: baseline, pm, spm or cached")
+		threshold   = flag.Float64("spm-threshold", 0.01, "SPM relative frequency threshold")
+		cacheMB     = flag.Int("cache-mb", 64, "cache size in MB for -strategy cached")
+		saveIndex   = flag.String("save-index", "", "write the pm/spm index to this file after building")
+		loadIndex   = flag.String("load-index", "", "load a previously saved index instead of building one")
+		combine     = flag.String("combine", "average", "multi-path combination: average or concat")
+		workers     = flag.Int("workers", 1, "parallel workers for -file query batches")
+		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
+		timing      = flag.Bool("timing", false, "print per-query timing breakdown")
+		jsonOut     = flag.Bool("json", false, "emit results as JSON instead of tables")
+		progressive = flag.Bool("progressive", false, "run queries progressively, printing top-k snapshots")
+		quiet       = flag.Bool("quiet", false, "suppress the banner")
+	)
+	flag.Parse()
+
+	g, err := loadNetwork(*netPath, *genScale, *genSeed, *quiet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		st := g.Stats()
+		fmt.Printf("loaded network: %d vertices, %d directed edges\n", st.Vertices, st.EdgesDirected)
+		for _, t := range g.Schema().TypeNames() {
+			fmt.Printf("  %-10s %d\n", t, st.PerType[t])
+		}
+	}
+
+	m, err := netout.ParseMeasure(*measure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries, err := collectQueries(*queryText, *queryFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	comb, err := netout.ParseCombination(*combine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jsonResults = *jsonOut
+
+	var mat netout.Materializer
+	if *loadIndex != "" {
+		mat, err = netout.LoadIndexFile(g, *loadIndex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("loaded %s index (%0.1f MB) from %s\n",
+				mat.Strategy(), float64(mat.IndexBytes())/1e6, *loadIndex)
+		}
+	} else {
+		mat, err = buildMaterializer(g, *strategy, *threshold, int64(*cacheMB)<<20, queries, *quiet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *saveIndex != "" {
+			if err := netout.SaveIndexFile(mat, *saveIndex); err != nil {
+				log.Fatal(err)
+			}
+			if !*quiet {
+				fmt.Printf("saved index to %s\n", *saveIndex)
+			}
+		}
+	}
+	eng := netout.NewEngine(g,
+		netout.WithMeasure(m),
+		netout.WithMaterializer(mat),
+		netout.WithCombination(comb))
+
+	switch {
+	case *explain != "":
+		if len(queries) != 1 {
+			log.Fatal("-explain needs exactly one query (via -query or -file)")
+		}
+		x, err := eng.Explain(queries[0], *explain, 15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(x.Format())
+	case len(queries) > 0 && *workers > 1:
+		results, err := netout.ExecuteBatch(g, queries, netout.BatchOptions{
+			Workers: *workers, Measure: m, Combination: comb, Materializer: mat,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, br := range results {
+			fmt.Printf("-- query %d --\n", i+1)
+			if br.Err != nil {
+				fmt.Printf("error: %v\n", br.Err)
+				continue
+			}
+			printResult(os.Stdout, br.Result, *timing)
+		}
+	case len(queries) > 0 && *progressive:
+		for _, src := range queries {
+			if err := runProgressive(eng, src, *timing); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case len(queries) > 0:
+		for _, src := range queries {
+			if err := runOne(eng, src, *timing); err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		repl(eng, *timing)
+	}
+}
+
+func loadNetwork(path string, genScale int, seed int64, quiet bool) (*netout.Graph, error) {
+	switch {
+	case path != "" && genScale > 0:
+		return nil, fmt.Errorf("use either -net or -gen, not both")
+	case path != "":
+		return netout.LoadGraph(path)
+	case genScale > 0:
+		if !quiet {
+			fmt.Printf("generating synthetic DBLP network (scale %d, seed %d) ...\n", genScale, seed)
+		}
+		cfg := netout.ScaledGenConfig(genScale)
+		cfg.Seed = seed
+		g, _, err := netout.Generate(cfg)
+		return g, err
+	default:
+		return nil, fmt.Errorf("need -net <file> or -gen <scale>")
+	}
+}
+
+func collectQueries(queryText, queryFile string) ([]string, error) {
+	var out []string
+	if queryText != "" {
+		out = append(out, queryText)
+	}
+	if queryFile != "" {
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, splitStatements(string(data))...)
+	}
+	return out, nil
+}
+
+// splitStatements splits ;-separated statements, ignoring blank ones.
+func splitStatements(src string) []string {
+	var out []string
+	for _, stmt := range strings.Split(src, ";") {
+		if strings.TrimSpace(stmt) != "" {
+			out = append(out, strings.TrimSpace(stmt)+";")
+		}
+	}
+	return out
+}
+
+func buildMaterializer(g *netout.Graph, strategy string, threshold float64, cacheBytes int64, queries []string, quiet bool) (netout.Materializer, error) {
+	switch strategy {
+	case "baseline":
+		return netout.NewBaseline(g), nil
+	case "cached":
+		return netout.NewCached(g, cacheBytes)
+	case "pm":
+		if !quiet {
+			fmt.Println("pre-materializing all length-2 meta-paths (PM) ...")
+		}
+		start := time.Now()
+		mat := netout.NewPM(g)
+		if !quiet {
+			fmt.Printf("PM index: %.1f MB in %v\n", float64(mat.IndexBytes())/1e6, time.Since(start).Round(time.Millisecond))
+		}
+		return mat, nil
+	case "spm":
+		if len(queries) == 0 {
+			return nil, fmt.Errorf("-strategy spm needs -query or -file as the initialization query set")
+		}
+		if !quiet {
+			fmt.Printf("selective pre-materialization (SPM, threshold %g) from %d queries ...\n", threshold, len(queries))
+		}
+		start := time.Now()
+		mat, err := netout.NewSPM(g, queries, netout.SPMConfig{Threshold: threshold})
+		if err != nil {
+			return nil, err
+		}
+		if !quiet {
+			fmt.Printf("SPM index: %.1f MB in %v\n", float64(mat.IndexBytes())/1e6, time.Since(start).Round(time.Millisecond))
+		}
+		return mat, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q (want baseline, pm, spm or cached)", strategy)
+}
+
+// jsonResults switches all result printing to JSON lines (set by -json).
+var jsonResults bool
+
+// runProgressive executes one query progressively, printing a snapshot per
+// chunk of the reference set.
+func runProgressive(eng *netout.Engine, src string, timing bool) error {
+	res, err := eng.ExecuteProgressive(src, netout.ProgressiveOptions{
+		OnSnapshot: func(s netout.ProgressiveSnapshot) bool {
+			fmt.Printf("[%d/%d refs]", s.ProcessedRefs, s.TotalRefs)
+			for i, est := range s.TopK {
+				if i >= 3 {
+					break
+				}
+				fmt.Printf("  %s=%.3f±%.3f", est.Name, est.Score, est.HalfWidth)
+			}
+			fmt.Println()
+			return true
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printResult(os.Stdout, res, timing)
+	return nil
+}
+
+func runOne(eng *netout.Engine, src string, timing bool) error {
+	res, err := eng.Execute(src)
+	if err != nil {
+		return err
+	}
+	printResult(os.Stdout, res, timing)
+	return nil
+}
+
+// jsonResult is the machine-readable result shape emitted by -json.
+type jsonResult struct {
+	Entries        []jsonEntry `json:"entries"`
+	Skipped        int         `json:"skipped"`
+	CandidateCount int         `json:"candidates"`
+	ReferenceCount int         `json:"references"`
+	TotalMicros    int64       `json:"total_us"`
+}
+
+type jsonEntry struct {
+	Rank  int     `json:"rank"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+func printResult(w io.Writer, res *netout.Result, timing bool) {
+	if jsonResults {
+		jr := jsonResult{
+			Skipped:        len(res.Skipped),
+			CandidateCount: res.CandidateCount,
+			ReferenceCount: res.ReferenceCount,
+			TotalMicros:    res.Timing.Total.Microseconds(),
+		}
+		for i, e := range res.Entries {
+			jr.Entries = append(jr.Entries, jsonEntry{Rank: i + 1, Name: e.Name, Score: e.Score})
+		}
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(jr); err != nil {
+			fmt.Fprintf(os.Stderr, "netout: encoding result: %v\n", err)
+		}
+		return
+	}
+	printResultTable(w, res, timing)
+}
+
+func printResultTable(w io.Writer, res *netout.Result, timing bool) {
+	fmt.Fprintf(w, "%-5s %-12s %s\n", "rank", "score", "name")
+	for i, e := range res.Entries {
+		fmt.Fprintf(w, "%-5d %-12.4f %s\n", i+1, e.Score, e.Name)
+	}
+	if len(res.Skipped) > 0 {
+		fmt.Fprintf(w, "(%d candidates skipped: zero visibility under the feature meta-paths)\n", len(res.Skipped))
+	}
+	fmt.Fprintf(w, "(%d candidates, %d reference vertices, %v)\n",
+		res.CandidateCount, res.ReferenceCount, res.Timing.Total.Round(time.Microsecond))
+	if timing {
+		t := res.Timing
+		fmt.Fprintf(w, "timing: set retrieval %v | traversal %v (%d vectors) | index %v (%d vectors) | scoring %v\n",
+			t.SetRetrieval.Round(time.Microsecond),
+			t.NotIndexed.Round(time.Microsecond), t.TraversedVectors,
+			t.Indexed.Round(time.Microsecond), t.IndexedVectors,
+			t.Scoring.Round(time.Microsecond))
+	}
+}
+
+const replHelp = `commands (all terminated by ';'):
+  FIND OUTLIERS ...            run an outlier query
+  .schema                      show vertex types and allowed links
+  .names <type> [<prefix>]     list vertex names with a prefix (max 25)
+  .explain <name> <query>      decompose <name>'s score under <query>
+  .suggest <query>             rank alternative feature meta-paths
+  .progressive <query>         run with progressive top-k snapshots
+  .hist <query>                histogram of the candidate score distribution
+  .help                        this message
+  quit`
+
+func repl(eng *netout.Engine, timing bool) { replFrom(eng, timing, os.Stdin) }
+
+// replFrom runs the REPL loop over an arbitrary input stream (tests inject
+// scripted sessions here).
+func replFrom(eng *netout.Engine, timing bool, in io.Reader) {
+	fmt.Println(`enter queries terminated by ';' (".help;" for commands, "quit;" to exit):`)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	names := newNameIndex(eng.Graph())
+	prompt := func() { fmt.Print("netout> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		src := strings.TrimSpace(buf.String())
+		buf.Reset()
+		bare := strings.TrimSpace(strings.TrimSuffix(src, ";"))
+		if strings.EqualFold(bare, "quit") || strings.EqualFold(bare, "exit") {
+			return
+		}
+		if err := dispatch(eng, names, src, bare, timing); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+		prompt()
+	}
+}
+
+func dispatch(eng *netout.Engine, names *nameIndex, src, bare string, timing bool) error {
+	if !strings.HasPrefix(bare, ".") {
+		return runOne(eng, src, timing)
+	}
+	fields := strings.Fields(bare)
+	switch fields[0] {
+	case ".help":
+		fmt.Println(replHelp)
+		return nil
+	case ".schema":
+		printSchema(eng.Graph())
+		return nil
+	case ".names":
+		if len(fields) < 2 {
+			return fmt.Errorf(".names wants: .names <type> [<prefix>]")
+		}
+		prefix := ""
+		if len(fields) > 2 {
+			prefix = fields[2]
+		}
+		return names.print(fields[1], prefix, 25)
+	case ".explain":
+		if len(fields) < 3 {
+			return fmt.Errorf(".explain wants: .explain <name> <query>")
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(bare, ".explain"))
+		name, query, err := splitNameAndQuery(rest)
+		if err != nil {
+			return err
+		}
+		x, err := eng.Explain(query+";", name, 15)
+		if err != nil {
+			return err
+		}
+		fmt.Print(x.Format())
+		return nil
+	case ".suggest":
+		query := strings.TrimSpace(strings.TrimPrefix(bare, ".suggest"))
+		sugs, err := eng.SuggestFeatures(query+";", 4)
+		if err != nil {
+			return err
+		}
+		fmt.Print(netout.FormatSuggestions(sugs, 10))
+		return nil
+	case ".progressive":
+		query := strings.TrimSpace(strings.TrimPrefix(bare, ".progressive"))
+		res, err := eng.ExecuteProgressive(query+";", netout.ProgressiveOptions{
+			OnSnapshot: func(s netout.ProgressiveSnapshot) bool {
+				fmt.Printf("  [%d/%d refs]", s.ProcessedRefs, s.TotalRefs)
+				for i, est := range s.TopK {
+					if i >= 3 {
+						break
+					}
+					fmt.Printf("  %s=%.3f±%.3f", est.Name, est.Score, est.HalfWidth)
+				}
+				fmt.Println()
+				return true
+			},
+		})
+		if err != nil {
+			return err
+		}
+		printResult(os.Stdout, res, timing)
+		return nil
+	case ".hist":
+		query := strings.TrimSpace(strings.TrimPrefix(bare, ".hist"))
+		// Drop any TOP clause so the histogram covers the full candidate set.
+		res, err := eng.Execute(query + ";")
+		if err != nil {
+			return err
+		}
+		h, err := res.ScoreHistogram(12)
+		if err != nil {
+			return err
+		}
+		fmt.Print(h.Render(48))
+		return nil
+	}
+	return fmt.Errorf("unknown command %s (try .help;)", fields[0])
+}
+
+// splitNameAndQuery splits `.explain` arguments: either a quoted name
+// followed by the query, or a single bare word.
+func splitNameAndQuery(rest string) (name, query string, err error) {
+	if rest == "" {
+		return "", "", fmt.Errorf("missing candidate name")
+	}
+	if rest[0] == '"' || rest[0] == '\'' {
+		quote := rest[0]
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated quoted name")
+		}
+		return rest[1 : 1+end], strings.TrimSpace(rest[2+end:]), nil
+	}
+	parts := strings.SplitN(rest, " ", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf(".explain wants: .explain <name> <query>")
+	}
+	return parts[0], strings.TrimSpace(parts[1]), nil
+}
+
+func printSchema(g *netout.Graph) {
+	s := g.Schema()
+	st := g.Stats()
+	for _, t := range s.TypeNames() {
+		id, _ := s.TypeByName(t)
+		var links []string
+		for _, d := range s.AllowedFrom(id) {
+			links = append(links, s.TypeName(d))
+		}
+		fmt.Printf("  %-12s %8d vertices, links to: %s\n", t, st.PerType[t], strings.Join(links, ", "))
+	}
+}
+
+// nameIndex lazily builds per-type radix tries for prefix lookup.
+type nameIndex struct {
+	g     *netout.Graph
+	tries map[string]*trie.Trie
+}
+
+func newNameIndex(g *netout.Graph) *nameIndex {
+	return &nameIndex{g: g, tries: map[string]*trie.Trie{}}
+}
+
+func (ni *nameIndex) print(typeName, prefix string, limit int) error {
+	t, ok := ni.g.Schema().TypeByName(typeName)
+	if !ok {
+		return fmt.Errorf("unknown vertex type %q", typeName)
+	}
+	tr := ni.tries[typeName]
+	if tr == nil {
+		tr = &trie.Trie{}
+		for _, v := range ni.g.VerticesOfType(t) {
+			tr.Put(ni.g.Name(v), int32(v))
+		}
+		ni.tries[typeName] = tr
+	}
+	keys, _ := tr.WithPrefix(prefix)
+	for i, k := range keys {
+		if i >= limit {
+			fmt.Printf("  ... and %d more\n", len(keys)-limit)
+			break
+		}
+		fmt.Printf("  %s\n", k)
+	}
+	if len(keys) == 0 {
+		fmt.Println("  (no matches)")
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command measures reproduces the paper's Table 1/Table 2 toy example and
+// extends it with the LOF and kNN-distance baselines: five candidate
+// authors scored against a reference set of 100 identical authors, under
+// the feature meta-path author.paper.venue.
+//
+// It shows the bias the paper demonstrates: PathSim and cosine similarity
+// flag the low-visibility author Joe as a strong outlier, while NetOut
+// correctly treats him as uncharacterized noise and flags Emma and Rob.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netout"
+)
+
+// Publication records of Table 1, columns VLDB, KDD, STOC, SIGGRAPH.
+var (
+	venueNames = []string{"VLDB", "KDD", "STOC", "SIGGRAPH"}
+	candidates = []struct {
+		name   string
+		record [4]float64
+	}{
+		{"Sarah", [4]float64{10, 10, 1, 1}},
+		{"Rob", [4]float64{0, 1, 20, 20}},
+		{"Lucy", [4]float64{0, 5, 10, 10}},
+		{"Joe", [4]float64{0, 0, 0, 2}},
+		{"Emma", [4]float64{0, 0, 0, 30}},
+	}
+	referenceRecord = [4]float64{10, 10, 1, 1} // ×100 authors
+)
+
+// vec converts a venue-count row into a sparse neighbor vector, dropping
+// zero counts (coordinates are already in ascending order).
+func vec(record [4]float64) netout.Vector {
+	var idx []int32
+	var val []float64
+	for i, c := range record {
+		if c != 0 {
+			idx = append(idx, int32(i))
+			val = append(val, c)
+		}
+	}
+	return netout.Vector{Idx: idx, Val: val}
+}
+
+func main() {
+	var cands []netout.Vector
+	for _, c := range candidates {
+		cands = append(cands, vec(c.record))
+	}
+	refs := make([]netout.Vector, 100)
+	for i := range refs {
+		refs[i] = vec(referenceRecord)
+	}
+
+	fmt.Println("Table 1: publication records (reference set = 100 copies of the reference author)")
+	fmt.Printf("%-12s", "")
+	for _, v := range venueNames {
+		fmt.Printf("%10s", v)
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "Reference")
+	for _, c := range referenceRecord {
+		fmt.Printf("%10.0f", c)
+	}
+	fmt.Println()
+	for _, c := range candidates {
+		fmt.Printf("%-12s", c.name)
+		for _, x := range c.record {
+			fmt.Printf("%10.0f", x)
+		}
+		fmt.Println()
+	}
+
+	netOut := netout.ScoreVectors(netout.MeasureNetOut, cands, refs)
+	pathSim := netout.ScoreVectors(netout.MeasurePathSim, cands, refs)
+	cosSim := netout.ScoreVectors(netout.MeasureCosSim, cands, refs)
+
+	// LOF and kNN run over the pooled candidate+reference population. The
+	// 100 identical reference points are a degenerate density (LOF would be
+	// +Inf for everything outside the duplicate cluster), so the density
+	// baselines see a lightly jittered copy of the reference records —
+	// equivalent to 100 near-identical real authors.
+	r := rand.New(rand.NewSource(7))
+	pool := append([]netout.Vector{}, cands...)
+	for range refs {
+		rec := referenceRecord
+		for i := range rec {
+			rec[i] += 0.2 * r.Float64()
+		}
+		pool = append(pool, vec(rec))
+	}
+	lofScores, err := netout.LOFScores(pool, netout.LOFOptions{K: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	knnScores, err := netout.KNNOutlierScores(pool, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nTable 2: outlier scores (Ω columns: smaller = more outlying;")
+	fmt.Println("LOF / kNN-dist columns: larger = more outlying)")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n",
+		"", "Ω-NetOut", "Ω-PathSim", "Ω-CosSim", "LOF", "kNN-dist")
+	for i, c := range candidates {
+		fmt.Printf("%-12s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			c.name, netOut[i], pathSim[i], cosSim[i], lofScores[i], knnScores[i])
+	}
+
+	fmt.Println(`
+Reading the table:
+  - NetOut flags Emma (3.33) and Rob (6.24); Joe scores 50 — his two papers
+    are too little signal to call him an outlier.
+  - PathSim flags Joe hardest (1.94): it is biased toward low visibility.
+  - CosSim cannot distinguish Joe from Emma (both 7.04): direction only.
+  - LOF ranks Joe highest of all: in raw count space his tiny record is far
+    from the dense reference cluster, the same low-visibility bias as
+    PathSim. kNN-distance prefers Emma/Rob but still scores Joe close to
+    Lucy, again unable to discount an unstable two-paper record.`)
+}

@@ -1,0 +1,133 @@
+// Command movies demonstrates the framework on a knowledge-graph-style
+// schema (Section 8 notes the language "can be applied to open-schema
+// networks such as a knowledge graph"): films linked to actors, directors,
+// genres and studios. The analyst asks for outliers among a director's
+// regular cast, judged by the genres of the other films those actors make —
+// and drills into the top outlier with a score explanation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netout"
+)
+
+func main() {
+	schema := netout.MustSchema("film", "actor", "director", "genre", "studio")
+	film, _ := schema.TypeByName("film")
+	actor, _ := schema.TypeByName("actor")
+	director, _ := schema.TypeByName("director")
+	genre, _ := schema.TypeByName("genre")
+	studio, _ := schema.TypeByName("studio")
+	schema.AllowLink(film, actor)
+	schema.AllowLink(film, director)
+	schema.AllowLink(film, genre)
+	schema.AllowLink(film, studio)
+
+	b := netout.NewBuilder(schema)
+	r := rand.New(rand.NewSource(23))
+
+	genres := map[string]netout.VertexID{}
+	for _, g := range []string{"thriller", "noir", "drama", "musical", "western", "comedy"} {
+		genres[g] = b.MustAddVertex(genre, g)
+	}
+	studios := []netout.VertexID{
+		b.MustAddVertex(studio, "Meridian Pictures"),
+		b.MustAddVertex(studio, "Halcyon Films"),
+	}
+
+	auteur := b.MustAddVertex(director, "V. Kessler")
+	otherDirectors := make([]netout.VertexID, 6)
+	for i := range otherDirectors {
+		otherDirectors[i] = b.MustAddVertex(director, fmt.Sprintf("Director %02d", i))
+	}
+
+	// Kessler's regular troupe: twelve actors who, outside his films, make
+	// thrillers and noirs like he does.
+	troupe := make([]netout.VertexID, 12)
+	for i := range troupe {
+		troupe[i] = b.MustAddVertex(actor, fmt.Sprintf("Troupe Actor %02d", i))
+	}
+	// Two planted outliers in the troupe: a musical star and a western
+	// veteran whose filmographies live in very different genres.
+	musicalStar := b.MustAddVertex(actor, "Marla Quinn (musicals)")
+	westernVet := b.MustAddVertex(actor, "Dutch Harlan (westerns)")
+
+	filmSeq := 0
+	shoot := func(d netout.VertexID, gs []string, cast ...netout.VertexID) {
+		filmSeq++
+		f := b.MustAddVertex(film, fmt.Sprintf("film-%03d", filmSeq))
+		b.MustAddEdge(f, d)
+		b.MustAddEdge(f, studios[r.Intn(len(studios))])
+		for _, g := range gs {
+			b.MustAddEdge(f, genres[g])
+		}
+		for _, a := range cast {
+			b.MustAddEdge(f, a)
+		}
+	}
+
+	// Kessler's films: thrillers/noirs with 3-4 troupe members, and one
+	// appearance each for the two planted outsiders.
+	for k := 0; k < 10; k++ {
+		cast := []netout.VertexID{}
+		for _, i := range r.Perm(len(troupe))[:3+r.Intn(2)] {
+			cast = append(cast, troupe[i])
+		}
+		shoot(auteur, []string{"thriller", "noir"}, cast...)
+	}
+	shoot(auteur, []string{"thriller"}, troupe[0], musicalStar)
+	shoot(auteur, []string{"noir"}, troupe[1], westernVet)
+
+	// The troupe's outside work stays in-genre.
+	for _, a := range troupe {
+		for k := 0; k < 4+r.Intn(3); k++ {
+			g := []string{"thriller", "noir", "drama"}[r.Intn(3)]
+			shoot(otherDirectors[r.Intn(len(otherDirectors))], []string{g}, a)
+		}
+	}
+	// The outsiders' main filmographies.
+	for k := 0; k < 9; k++ {
+		shoot(otherDirectors[r.Intn(len(otherDirectors))], []string{"musical", "comedy"}, musicalStar)
+	}
+	for k := 0; k < 9; k++ {
+		shoot(otherDirectors[r.Intn(len(otherDirectors))], []string{"western"}, westernVet)
+	}
+	g := b.Build()
+
+	st := g.Stats()
+	fmt.Printf("movie knowledge graph: %d films, %d actors, %d directors, %d genres, %d studios\n\n",
+		st.PerType["film"], st.PerType["actor"], st.PerType["director"],
+		st.PerType["genre"], st.PerType["studio"])
+
+	query := `FIND OUTLIERS
+FROM director{"V. Kessler"}.film.actor
+JUDGED BY actor.film.genre
+TOP 5;`
+	fmt.Println(query)
+	eng := netout.NewEngine(g)
+	res, err := eng.Execute(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-4s %-9s %s\n", "rank", "Ω-value", "actor")
+	for i, e := range res.Entries {
+		fmt.Printf("%-4d %-9.3f %s\n", i+1, e.Score, e.Name)
+	}
+
+	fmt.Println("\nwhy is the top outlier outlying?")
+	x, err := eng.Explain(query, res.Entries[0].Name, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(x.Format())
+
+	fmt.Println("\nwhich other viewpoints would separate outliers sharply?")
+	sugs, err := eng.SuggestFeatures(query, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(netout.FormatSuggestions(sugs, 5))
+}

@@ -1,0 +1,81 @@
+// Command quickstart builds a small bibliographic network by hand and runs
+// a first outlier query against it: among Ann's coauthors, who publishes in
+// unusual venues?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netout"
+)
+
+func main() {
+	// 1. Declare the schema: four vertex types, papers linked to everything.
+	schema := netout.MustSchema("author", "paper", "venue", "term")
+	author, _ := schema.TypeByName("author")
+	paper, _ := schema.TypeByName("paper")
+	venue, _ := schema.TypeByName("venue")
+	term, _ := schema.TypeByName("term")
+	schema.AllowLink(paper, author)
+	schema.AllowLink(paper, venue)
+	schema.AllowLink(paper, term)
+
+	// 2. Build the network: five authors; Ann, Ben, Cai and Dee are a data
+	// mining group publishing at KDD and SIGMOD, while Eve coauthored one
+	// paper with Ann but otherwise publishes alone at SIGGRAPH.
+	b := netout.NewBuilder(schema)
+	venues := map[string]netout.VertexID{}
+	for _, v := range []string{"KDD", "SIGMOD", "SIGGRAPH"} {
+		venues[v] = b.MustAddVertex(venue, v)
+	}
+	authors := map[string]netout.VertexID{}
+	for _, a := range []string{"Ann", "Ben", "Cai", "Dee", "Eve"} {
+		authors[a] = b.MustAddVertex(author, a)
+	}
+	pid := 0
+	addPaper := func(v string, names ...string) {
+		pid++
+		p := b.MustAddVertex(paper, fmt.Sprintf("paper-%02d", pid))
+		b.MustAddEdge(p, venues[v])
+		for _, n := range names {
+			b.MustAddEdge(p, authors[n])
+		}
+	}
+	addPaper("KDD", "Ann", "Ben")
+	addPaper("KDD", "Ann", "Cai")
+	addPaper("KDD", "Ben", "Dee")
+	addPaper("SIGMOD", "Ann", "Dee")
+	addPaper("SIGMOD", "Cai", "Ben")
+	addPaper("KDD", "Ann", "Eve")
+	addPaper("SIGGRAPH", "Eve")
+	addPaper("SIGGRAPH", "Eve")
+	addPaper("SIGGRAPH", "Eve")
+	g := b.Build()
+
+	st := g.Stats()
+	fmt.Printf("network: %d vertices (%d authors, %d papers, %d venues), %d directed edges\n\n",
+		st.Vertices, st.PerType["author"], st.PerType["paper"], st.PerType["venue"], st.EdgesDirected)
+
+	// 3. Ask for outliers among Ann's coauthors, judged by their venues.
+	query := `FIND OUTLIERS
+FROM author{"Ann"}.paper.author
+JUDGED BY author.paper.venue
+TOP 5;`
+	fmt.Println(query)
+	fmt.Println()
+
+	eng := netout.NewEngine(g)
+	res, err := eng.Execute(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Smaller NetOut scores mean more outlying: Eve should top the list.
+	fmt.Printf("%-4s %-8s %s\n", "rank", "Ω-value", "author")
+	for i, e := range res.Entries {
+		fmt.Printf("%-4d %-8.3f %s\n", i+1, e.Score, e.Name)
+	}
+	fmt.Printf("\nresolved %d candidates against %d reference vertices in %v\n",
+		res.CandidateCount, res.ReferenceCount, res.Timing.Total.Round(1000))
+}

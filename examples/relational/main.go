@@ -1,0 +1,143 @@
+// Command relational demonstrates outlier queries over a traditional
+// relational database (the Section 8 extension): an e-commerce schema of
+// customers, products, categories and an orders junction table is bridged
+// into a heterogeneous information network, after which the OQL language
+// runs unchanged — here, to spot the account whose purchases look nothing
+// like its cohort's.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"netout"
+)
+
+func main() {
+	db := netout.NewRelDB()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	categories, err := db.CreateTable(netout.RelTableDef{
+		Name: "category", Key: "id",
+		Columns: []netout.RelColumn{
+			{Name: "id", Type: netout.RelInt},
+			{Name: "name", Type: netout.RelText},
+		},
+	})
+	must(err)
+	products, err := db.CreateTable(netout.RelTableDef{
+		Name: "product", Key: "id",
+		Columns: []netout.RelColumn{
+			{Name: "id", Type: netout.RelInt},
+			{Name: "name", Type: netout.RelText},
+			{Name: "category_id", Type: netout.RelInt, References: "category"},
+		},
+	})
+	must(err)
+	customers, err := db.CreateTable(netout.RelTableDef{
+		Name: "customer", Key: "id",
+		Columns: []netout.RelColumn{
+			{Name: "id", Type: netout.RelInt},
+			{Name: "name", Type: netout.RelText},
+			{Name: "segment", Type: netout.RelText},
+		},
+	})
+	must(err)
+	orders, err := db.CreateTable(netout.RelTableDef{
+		Name: "orders",
+		Columns: []netout.RelColumn{
+			{Name: "customer_id", Type: netout.RelInt, References: "customer"},
+			{Name: "product_id", Type: netout.RelInt, References: "product"},
+		},
+	})
+	must(err)
+
+	// Categories and products.
+	catNames := []string{"books", "garden", "electronics", "toys", "industrial-chemicals"}
+	for i, n := range catNames {
+		categories.MustInsert(netout.RelRow{"id": int64(i + 1), "name": n})
+	}
+	prodID := int64(0)
+	prodsByCat := map[int64][]int64{}
+	for ci := range catNames {
+		for k := 0; k < 6; k++ {
+			prodID++
+			products.MustInsert(netout.RelRow{
+				"id":          prodID,
+				"name":        fmt.Sprintf("%s item %d", catNames[ci], k+1),
+				"category_id": int64(ci + 1),
+			})
+			prodsByCat[int64(ci+1)] = append(prodsByCat[int64(ci+1)], prodID)
+		}
+	}
+
+	// A "household" cohort buying books/garden/toys, plus one account that
+	// mixes a couple of normal purchases with bulk industrial chemicals.
+	r := rand.New(rand.NewSource(17))
+	householdCats := []int64{1, 2, 4}
+	for i := 1; i <= 15; i++ {
+		customers.MustInsert(netout.RelRow{
+			"id": int64(i), "name": fmt.Sprintf("customer-%02d", i), "segment": "household",
+		})
+		for k := 0; k < 6+r.Intn(5); k++ {
+			cat := householdCats[r.Intn(len(householdCats))]
+			ps := prodsByCat[cat]
+			orders.MustInsert(netout.RelRow{"customer_id": int64(i), "product_id": ps[r.Intn(len(ps))]})
+		}
+	}
+	customers.MustInsert(netout.RelRow{"id": int64(99), "name": "customer-99-suspicious", "segment": "household"})
+	orders.MustInsert(netout.RelRow{"customer_id": int64(99), "product_id": prodsByCat[1][0]})
+	for k := 0; k < 9; k++ {
+		ps := prodsByCat[5]
+		orders.MustInsert(netout.RelRow{"customer_id": int64(99), "product_id": ps[r.Intn(len(ps))]})
+	}
+
+	must(db.Validate())
+	fmt.Println("relational schema: category, product(category_id FK), customer, orders(junction)")
+
+	// Bridge: entity tables become vertex types; the orders junction
+	// connects customers to products; the category FK links products to
+	// categories.
+	g, err := netout.RelToHIN(db, netout.RelBridgeConfig{
+		EntityTables: []netout.RelEntityTable{
+			{Table: "customer", NameColumn: "name"},
+			{Table: "product", NameColumn: "name"},
+			{Table: "category", NameColumn: "name"},
+		},
+		JunctionTables: []string{"orders"},
+	})
+	must(err)
+	st := g.Stats()
+	fmt.Printf("bridged network: %d customers, %d products, %d categories; %d directed edges\n\n",
+		st.PerType["customer"], st.PerType["product"], st.PerType["category"], st.EdgesDirected)
+
+	query := `FIND OUTLIERS
+FROM customer
+JUDGED BY customer.product.category
+TOP 5;`
+	fmt.Println(query)
+	eng := netout.NewEngine(g)
+	res, err := eng.Execute(query)
+	must(err)
+	fmt.Printf("\n%-4s %-9s %s\n", "rank", "Ω-value", "customer")
+	for i, e := range res.Entries {
+		fmt.Printf("%-4d %-9.3f %s\n", i+1, e.Score, e.Name)
+	}
+
+	fmt.Println("\nscore distribution (the outlier gap is visible at a glance):")
+	full, err := eng.Execute(`FIND OUTLIERS FROM customer JUDGED BY customer.product.category;`)
+	must(err)
+	h, err := full.ScoreHistogram(8)
+	must(err)
+	fmt.Print(h.Render(40))
+
+	fmt.Println("\nwhy is the top account outlying?")
+	x, err := eng.Explain(query, res.Entries[0].Name, 6)
+	must(err)
+	fmt.Print(x.Format())
+}

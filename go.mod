@@ -1,0 +1,3 @@
+module netout
+
+go 1.22

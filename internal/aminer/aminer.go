@@ -1,0 +1,237 @@
+// Package aminer parses the ArnetMiner / DBLP citation text format — the
+// actual distribution format of the data set the paper evaluates on
+// (Section 7.1, arnetminer.org) — and builds the four-type bibliographic
+// heterogeneous information network (paper, author, venue, term) the
+// experiments use.
+//
+// The format is line oriented, one record per paper:
+//
+//	#* Some Paper Title
+//	#@ Ada Lovelace;Charles Babbage
+//	#t 1843
+//	#c Analytical Engines Symposium
+//	#index 12
+//	#% 7
+//	#! Abstract text ...
+//
+// Records are separated by blank lines (a new #* also starts a record).
+// Only #*, #@ and #c contribute to the network: titles are tokenized into
+// term vertices (lowercased, stopwords dropped), authors and venues become
+// vertices of their types. Reference (#%), year (#t), index (#index) and
+// abstract (#!) lines are accepted and ignored, so real dumps parse as-is.
+package aminer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"netout/internal/hin"
+)
+
+// Record is one parsed publication entry.
+type Record struct {
+	Title   string
+	Authors []string
+	Venue   string
+	Year    string
+	Index   string
+}
+
+// ParseError reports a malformed line with its position.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("aminer: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads records from r. Records missing a title are rejected;
+// records missing authors or venue are kept (the network simply gets no
+// such links), matching the sparsity of real dumps — this is exactly how
+// "NULL" authors arise.
+func Parse(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	var cur *Record
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if strings.TrimSpace(cur.Title) == "" {
+			return &ParseError{lineNo, "record has no title"}
+		}
+		out = append(out, *cur)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "#") {
+			return nil, &ParseError{lineNo, fmt.Sprintf("expected a #-tagged line, got %q", trimmed)}
+		}
+		tag, rest := splitTag(trimmed)
+		switch tag {
+		case "#*":
+			if cur != nil {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			cur = &Record{Title: rest}
+		case "#@":
+			if cur == nil {
+				return nil, &ParseError{lineNo, "#@ before any #*"}
+			}
+			for _, a := range strings.Split(rest, ";") {
+				if a = strings.TrimSpace(a); a != "" {
+					cur.Authors = append(cur.Authors, a)
+				}
+			}
+		case "#c":
+			if cur == nil {
+				return nil, &ParseError{lineNo, "#c before any #*"}
+			}
+			cur.Venue = rest
+		case "#t":
+			if cur == nil {
+				return nil, &ParseError{lineNo, "#t before any #*"}
+			}
+			cur.Year = rest
+		case "#index":
+			if cur == nil {
+				return nil, &ParseError{lineNo, "#index before any #*"}
+			}
+			cur.Index = rest
+		case "#%", "#!":
+			if cur == nil {
+				return nil, &ParseError{lineNo, tag + " before any #*"}
+			}
+			// references and abstracts are accepted and ignored
+		default:
+			return nil, &ParseError{lineNo, fmt.Sprintf("unknown tag %q", tag)}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("aminer: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func splitTag(line string) (tag, rest string) {
+	// #index and other multi-letter tags: the tag is '#' plus the leading
+	// letters/symbols up to the first space.
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return line[:i], strings.TrimSpace(line[i+1:])
+	}
+	return line, ""
+}
+
+// BuildOptions configures network construction.
+type BuildOptions struct {
+	// MinTermLength drops shorter title tokens (default 3).
+	MinTermLength int
+	// MaxTermsPerPaper caps the number of term links per paper (0 = all).
+	MaxTermsPerPaper int
+	// KeepStopwords disables the built-in stopword list.
+	KeepStopwords bool
+	// MissingAuthor, when non-empty, attaches papers that have no #@ line
+	// to an author vertex with this name — reproducing the NULL
+	// missing-data artifact of the paper's Table 5 ("" keeps such papers
+	// author-less).
+	MissingAuthor string
+}
+
+// Build converts parsed records into the four-type bibliographic network.
+func Build(records []Record, opts BuildOptions) (*hin.Graph, error) {
+	if opts.MinTermLength <= 0 {
+		opts.MinTermLength = 3
+	}
+	schema := hin.MustSchema("author", "paper", "venue", "term")
+	authorT, _ := schema.TypeByName("author")
+	paperT, _ := schema.TypeByName("paper")
+	venueT, _ := schema.TypeByName("venue")
+	termT, _ := schema.TypeByName("term")
+	schema.AllowLink(paperT, authorT)
+	schema.AllowLink(paperT, venueT)
+	schema.AllowLink(paperT, termT)
+	b := hin.NewBuilder(schema)
+
+	for i, rec := range records {
+		name := rec.Index
+		if name == "" {
+			name = fmt.Sprintf("record-%d", i)
+		}
+		// Titles can collide; papers are identified by index/position, with
+		// the title kept in the vertex name for display.
+		p, err := b.AddVertex(paperT, name+": "+rec.Title)
+		if err != nil {
+			return nil, err
+		}
+		authors := rec.Authors
+		if len(authors) == 0 && opts.MissingAuthor != "" {
+			authors = []string{opts.MissingAuthor}
+		}
+		for _, a := range authors {
+			av, err := b.AddVertex(authorT, a)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.AddEdge(p, av); err != nil {
+				return nil, err
+			}
+		}
+		if rec.Venue != "" {
+			vv, err := b.AddVertex(venueT, rec.Venue)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.AddEdge(p, vv); err != nil {
+				return nil, err
+			}
+		}
+		terms := Tokenize(rec.Title, opts.MinTermLength, !opts.KeepStopwords)
+		if opts.MaxTermsPerPaper > 0 && len(terms) > opts.MaxTermsPerPaper {
+			terms = terms[:opts.MaxTermsPerPaper]
+		}
+		for _, tm := range terms {
+			tv, err := b.AddVertex(termT, tm)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.AddEdge(p, tv); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Load parses a file and builds the network in one step.
+func Load(path string, opts BuildOptions) (*hin.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return Build(records, opts)
+}

@@ -1,0 +1,210 @@
+package aminer
+
+import (
+	"strings"
+	"testing"
+
+	"netout/internal/core"
+)
+
+const sampleDump = `#* Mining Outliers in Large Graphs
+#@ Ada Lovelace;Charles Babbage
+#t 2014
+#c KDD
+#index 1
+#% 3
+#! We study outlier mining in graphs.
+
+#* Query Languages for Heterogeneous Networks
+#@ Ada Lovelace
+#t 2015
+#c EDBT
+#index 2
+
+#* Rendering Fluids with Particles
+#@ Grace Hopper
+#t 2015
+#c SIGGRAPH
+#index 3
+#* A Venue-less Preprint on Graph Mining
+#@ Charles Babbage
+#index 4
+
+#* An Authorless Record
+#c KDD
+#index 5
+`
+
+func TestParse(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sampleDump))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("records = %d: %+v", len(recs), recs)
+	}
+	r0 := recs[0]
+	if r0.Title != "Mining Outliers in Large Graphs" || len(r0.Authors) != 2 ||
+		r0.Venue != "KDD" || r0.Year != "2014" || r0.Index != "1" {
+		t.Fatalf("record 0 = %+v", r0)
+	}
+	// Record 3 started without a blank separator (#* directly after #index).
+	if recs[3].Title != "A Venue-less Preprint on Graph Mining" || recs[3].Venue != "" {
+		t.Fatalf("record 3 = %+v", recs[3])
+	}
+	if len(recs[4].Authors) != 0 {
+		t.Fatalf("record 4 should be authorless: %+v", recs[4])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"untagged line":    "hello\n",
+		"unknown tag":      "#z whatever\n",
+		"authors first":    "#@ X\n",
+		"venue first":      "#c X\n",
+		"year first":       "#t 2000\n",
+		"index first":      "#index 4\n",
+		"refs first":       "#% 4\n",
+		"abstract first":   "#! text\n",
+		"title-less flush": "#* \n#@ X\n\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(src)); err == nil {
+				t.Errorf("Parse(%q) should fail", src)
+			}
+		})
+	}
+	if _, err := Parse(strings.NewReader("")); err != nil {
+		t.Errorf("empty input should parse to no records: %v", err)
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse(strings.NewReader("#z bad\n"))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 1 || !strings.Contains(pe.Error(), "line 1") {
+		t.Fatalf("ParseError = %+v", pe)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Mining the Outliers: of Large-Graphs, mining!", 3, true)
+	want := []string{"mining", "outliers", "large", "graphs"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v, want %v", got, want)
+		}
+	}
+	// Keep stopwords when asked, drop short tokens always.
+	got = Tokenize("The Big AI", 3, false)
+	if len(got) != 2 || got[0] != "the" || got[1] != "big" {
+		t.Fatalf("Tokenize with stopwords = %v", got)
+	}
+	// Unicode titles survive.
+	got = Tokenize("日本語 graph データ", 2, true)
+	if len(got) != 3 {
+		t.Fatalf("unicode Tokenize = %v", got)
+	}
+	if got := Tokenize("", 3, true); len(got) != 0 {
+		t.Fatalf("empty title = %v", got)
+	}
+}
+
+func TestBuild(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sampleDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(recs, BuildOptions{MissingAuthor: "NULL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	s := g.Schema()
+	authorT, _ := s.TypeByName("author")
+	paperT, _ := s.TypeByName("paper")
+	venueT, _ := s.TypeByName("venue")
+	termT, _ := s.TypeByName("term")
+	if g.NumVerticesOfType(paperT) != 5 {
+		t.Fatalf("papers = %d", g.NumVerticesOfType(paperT))
+	}
+	// Authors: Ada, Charles, Grace + NULL.
+	if g.NumVerticesOfType(authorT) != 4 {
+		t.Fatalf("authors = %d", g.NumVerticesOfType(authorT))
+	}
+	if g.NumVerticesOfType(venueT) != 3 {
+		t.Fatalf("venues = %d", g.NumVerticesOfType(venueT))
+	}
+	if g.NumVerticesOfType(termT) == 0 {
+		t.Fatal("no terms")
+	}
+	nullA, ok := g.VertexByName(authorT, "NULL")
+	if !ok {
+		t.Fatal("NULL author missing")
+	}
+	if d := g.Degree(nullA, paperT); d != 1 {
+		t.Fatalf("NULL degree = %d", d)
+	}
+	// Shared term "mining" links records 1 and 4.
+	mining, ok := g.VertexByName(termT, "mining")
+	if !ok {
+		t.Fatal("term 'mining' missing")
+	}
+	if d := g.Degree(mining, paperT); d != 2 {
+		t.Fatalf("'mining' paper degree = %d", d)
+	}
+	// Ada's coauthor outlier query runs on the imported network.
+	eng := core.NewEngine(g)
+	res, err := eng.Execute(`FIND OUTLIERS
+FROM author{"Ada Lovelace"}.paper.author
+JUDGED BY author.paper.term;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CandidateCount != 2 {
+		t.Fatalf("candidates = %d", res.CandidateCount)
+	}
+}
+
+func TestBuildOptions(t *testing.T) {
+	recs := []Record{{Title: "alpha beta gamma delta epsilon", Index: "1"}}
+	g, err := Build(recs, BuildOptions{MaxTermsPerPaper: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	termT, _ := g.Schema().TypeByName("term")
+	if n := g.NumVerticesOfType(termT); n != 2 {
+		t.Fatalf("terms = %d, want 2 (capped)", n)
+	}
+	// Without MissingAuthor the paper is author-less.
+	authorT, _ := g.Schema().TypeByName("author")
+	if n := g.NumVerticesOfType(authorT); n != 0 {
+		t.Fatalf("authors = %d, want 0", n)
+	}
+	// Duplicate titles with no index still build (positional names).
+	recs = []Record{{Title: "same"}, {Title: "same"}}
+	g, err = Build(recs, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperT, _ := g.Schema().TypeByName("paper")
+	if g.NumVerticesOfType(paperT) != 2 {
+		t.Fatal("duplicate titles collapsed")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	if _, err := Load("/nonexistent/dump.txt", BuildOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package aminer
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the ArnetMiner parser never panics and that accepted
+// records always build a valid network.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"#* Title\n#@ A;B\n#c V\n#index 1\n",
+		"#* Title Only\n",
+		"#* One\n#* Two\n",
+		"#* T\n#@ ;;\n#t \n#c \n#% x\n#! abs\n",
+		"#*\tTabbed Title\n",
+		"not a record",
+		"#index 1\n",
+		strings.Repeat("#* t\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		recs, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		g, err := Build(recs, BuildOptions{MissingAuthor: "NULL"})
+		if err != nil {
+			t.Fatalf("accepted records fail to build: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package aminer
+
+import "strings"
+
+// stopwords is a compact English stopword list tuned for paper titles;
+// terms on it never become term vertices (unless BuildOptions.KeepStopwords
+// is set).
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"based": true, "be": true, "between": true, "by": true, "can": true,
+	"case": true, "do": true, "for": true, "from": true, "how": true,
+	"in": true, "into": true, "is": true, "it": true, "its": true,
+	"new": true, "non": true, "not": true, "of": true, "on": true,
+	"or": true, "over": true, "some": true, "study": true, "that": true,
+	"the": true, "their": true, "this": true, "to": true, "toward": true,
+	"towards": true, "under": true, "using": true, "via": true, "what": true,
+	"when": true, "with": true, "within": true, "without": true,
+}
+
+// Tokenize splits a title into lowercase alphanumeric terms, dropping
+// tokens shorter than minLen and (optionally) stopwords. Duplicate terms
+// within one title are kept once, preserving first-occurrence order, so a
+// paper links to each of its terms exactly once.
+func Tokenize(title string, minLen int, dropStopwords bool) []string {
+	var out []string
+	seen := map[string]bool{}
+	var sb strings.Builder
+	emit := func() {
+		if sb.Len() == 0 {
+			return
+		}
+		tok := sb.String()
+		sb.Reset()
+		if len(tok) < minLen {
+			return
+		}
+		if dropStopwords && stopwords[tok] {
+			return
+		}
+		if !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r > 127: // keep non-ASCII letters (unicode titles)
+			sb.WriteRune(r)
+		default:
+			emit()
+		}
+	}
+	emit()
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+)
+
+// Batch execution answers the paper's third motivating challenge — "data
+// analysts need to obtain results promptly" — for workloads of many
+// queries: queries are independent, so a worker pool with per-worker
+// engines processes them in parallel. Pre-materialized indexes are shared
+// read-only across workers via views (the index is immutable after
+// construction; only the per-materializer statistics are worker-local).
+
+// NewView returns a materializer that shares m's pre-computed index (if
+// any) but owns private traversal scratch space and statistics, making it
+// safe to use concurrently with other views of m. The baseline strategy has
+// no shared state, so its view is simply a fresh baseline.
+func NewView(m Materializer) (Materializer, error) {
+	switch v := m.(type) {
+	case *baseline:
+		return NewBaseline(v.tr.Graph()), nil
+	case *indexedMaterializer:
+		return &indexedMaterializer{
+			tr:       metapath.NewTraverser(v.tr.Graph()),
+			ix:       v.ix,
+			strategy: v.strategy,
+		}, nil
+	case *cached:
+		// Caches are mutable, so a view is an independent empty cache of
+		// the same capacity: correctness is preserved, warm state is not.
+		return NewCached(v.tr.Graph(), v.maxBytes)
+	}
+	return nil, fmt.Errorf("core: cannot create a concurrent view of %T", m)
+}
+
+// BatchOptions configures ExecuteBatch.
+type BatchOptions struct {
+	// Workers is the pool size (default: GOMAXPROCS).
+	Workers int
+	// Measure is the outlierness measure (default MeasureNetOut).
+	Measure Measure
+	// Combination is the multi-path combination mode (default average).
+	Combination Combination
+	// Materializer, if set, is the shared strategy whose index the workers
+	// reuse through views; nil means each worker gets its own baseline.
+	Materializer Materializer
+}
+
+// BatchResult pairs one query's outcome with its position and any error.
+type BatchResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// ExecuteBatch runs the queries in parallel and returns per-query results
+// in input order. Individual query failures are reported per entry, not as
+// a global error; the global error covers setup problems only.
+func ExecuteBatch(g *hin.Graph, queries []string, opts BatchOptions) ([]BatchResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) && len(queries) > 0 {
+		workers = len(queries)
+	}
+	results := make([]BatchResult, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	engines := make([]*Engine, workers)
+	for w := 0; w < workers; w++ {
+		var mat Materializer
+		if opts.Materializer != nil {
+			view, err := NewView(opts.Materializer)
+			if err != nil {
+				return nil, err
+			}
+			mat = view
+		} else {
+			mat = NewBaseline(g)
+		}
+		engines[w] = NewEngine(g,
+			WithMeasure(opts.Measure),
+			WithCombination(opts.Combination),
+			WithMaterializer(mat))
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(eng *Engine) {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := eng.Execute(queries[i])
+				results[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}(engines[w])
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}

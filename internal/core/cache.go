@@ -1,0 +1,138 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/sparse"
+)
+
+// StrategyCached is the LRU-cached materializer: no offline
+// pre-materialization, but computed neighbor vectors are kept in a
+// bounded-memory cache, so repeated workloads approach PM speed for their
+// hot vertices without PM's index-build cost. It sits between the paper's
+// Baseline and SPM: SPM picks its hot set offline from an initialization
+// query set, the cache discovers it online.
+const StrategyCached Strategy = 3
+
+type cacheEntry struct {
+	key string
+	vec sparse.Vector
+}
+
+type cached struct {
+	tr       *metapath.Traverser
+	maxBytes int64
+
+	entries  map[string]*list.Element
+	order    *list.List // front = most recent
+	curBytes int64
+
+	stats     MatStats
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// CacheStats reports cache behaviour beyond the shared MatStats.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Bytes                   int64
+}
+
+// NewCached returns a materializer that memoizes neighbor vectors in an
+// LRU cache bounded to maxBytes of vector payload (plus fixed per-entry
+// overhead). maxBytes must be positive.
+func NewCached(g *hin.Graph, maxBytes int64) (Materializer, error) {
+	if maxBytes <= 0 {
+		return nil, fmt.Errorf("core: cache size must be positive, got %d", maxBytes)
+	}
+	return &cached{
+		tr:       metapath.NewTraverser(g),
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}, nil
+}
+
+func (c *cached) Strategy() Strategy { return StrategyCached }
+func (c *cached) IndexBytes() int64  { return c.curBytes }
+func (c *cached) Stats() MatStats    { return c.stats }
+
+// CacheStats returns hit/miss/eviction counters. The materializer must
+// have been created by NewCached.
+func (c *cached) CacheStats() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Bytes: c.curBytes}
+}
+
+// CacheStatsOf extracts cache counters from a materializer created by
+// NewCached; ok is false for other strategies.
+func CacheStatsOf(m Materializer) (CacheStats, bool) {
+	c, ok := m.(*cached)
+	if !ok {
+		return CacheStats{}, false
+	}
+	return c.CacheStats(), true
+}
+
+func cacheKey(p metapath.Path, v hin.VertexID) string {
+	return p.Key() + "\x00" + string([]byte{
+		byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+	})
+}
+
+func (c *cached) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error) {
+	g := c.tr.Graph()
+	if p.IsZero() {
+		return sparse.Vector{}, fmt.Errorf("core: zero meta-path")
+	}
+	if !g.Valid(v) {
+		return sparse.Vector{}, fmt.Errorf("core: vertex %d out of range", v)
+	}
+	if g.Type(v) != p.Source() {
+		return sparse.Vector{}, fmt.Errorf("core: vertex %d has type %s, path starts at %s",
+			v, g.Schema().TypeName(g.Type(v)), g.Schema().TypeName(p.Source()))
+	}
+	key := cacheKey(p, v)
+	start := time.Now()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.IndexedTime += time.Since(start)
+		c.stats.IndexedVectors++
+		c.hits++
+		return el.Value.(*cacheEntry).vec, nil
+	}
+	vec, err := c.tr.NeighborVector(p, v)
+	c.stats.TraversalTime += time.Since(start)
+	c.stats.TraversedVectors++
+	c.misses++
+	if err != nil {
+		return sparse.Vector{}, err
+	}
+	c.insert(key, vec)
+	return vec, nil
+}
+
+func (c *cached) insert(key string, vec sparse.Vector) {
+	size := int64(vec.Bytes()) + indexEntryOverhead + int64(len(key))
+	if size > c.maxBytes {
+		return // larger than the whole cache: do not thrash
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
+	c.entries[key] = el
+	c.curBytes += size
+	for c.curBytes > c.maxBytes {
+		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.order.Remove(tail)
+		delete(c.entries, e.key)
+		c.curBytes -= int64(e.vec.Bytes()) + indexEntryOverhead + int64(len(e.key))
+		c.evictions++
+	}
+}

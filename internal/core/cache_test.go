@@ -1,0 +1,448 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+)
+
+func TestCachedBasics(t *testing.T) {
+	g := fig1Graph(t)
+	mat, err := NewCached(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Strategy() != StrategyCached || StrategyCached.String() != "Cached" {
+		t.Fatal("strategy metadata wrong")
+	}
+	p, _ := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	a, _ := g.Schema().TypeByName("author")
+	zoe, _ := g.VertexByName(a, "Zoe")
+
+	v1, err := mat.NeighborVector(p, zoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := mat.NeighborVector(p, zoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Equal(v2) {
+		t.Fatal("cache returned different vector")
+	}
+	cs, ok := CacheStatsOf(mat)
+	if !ok {
+		t.Fatal("CacheStatsOf failed")
+	}
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Bytes <= 0 {
+		t.Fatalf("cache stats = %+v", cs)
+	}
+	st := mat.Stats()
+	if st.IndexedVectors != 1 || st.TraversedVectors != 1 {
+		t.Fatalf("mat stats = %+v", st)
+	}
+	if mat.IndexBytes() != cs.Bytes {
+		t.Fatal("IndexBytes mismatch")
+	}
+	if _, ok := CacheStatsOf(NewBaseline(g)); ok {
+		t.Error("CacheStatsOf on baseline should fail")
+	}
+}
+
+func TestCachedErrors(t *testing.T) {
+	g := fig1Graph(t)
+	if _, err := NewCached(g, 0); err == nil {
+		t.Error("zero cache size accepted")
+	}
+	mat, _ := NewCached(g, 1<<20)
+	p, _ := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	if _, err := mat.NeighborVector(metapath.Path{}, 0); err == nil {
+		t.Error("zero path accepted")
+	}
+	if _, err := mat.NeighborVector(p, hin.VertexID(9999)); err == nil {
+		t.Error("bad vertex accepted")
+	}
+	v, _ := g.Schema().TypeByName("venue")
+	kdd, _ := g.VertexByName(v, "KDD")
+	if _, err := mat.NeighborVector(p, kdd); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	g := fig1Graph(t)
+	// A tiny cache that holds roughly one vector.
+	mat, err := NewCached(g, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	a, _ := g.Schema().TypeByName("author")
+	var authors []hin.VertexID
+	for _, n := range []string{"Ava", "Liam", "Zoe"} {
+		v, _ := g.VertexByName(a, n)
+		authors = append(authors, v)
+	}
+	for round := 0; round < 3; round++ {
+		for _, v := range authors {
+			if _, err := mat.NeighborVector(p, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cs, _ := CacheStatsOf(mat)
+	if cs.Evictions == 0 {
+		t.Fatalf("expected evictions with a tiny cache: %+v", cs)
+	}
+	if mat.IndexBytes() > 150 {
+		t.Fatalf("cache exceeded its budget: %d", mat.IndexBytes())
+	}
+}
+
+// Cached results must equal baseline results on random graphs and queries.
+func TestQuickCachedAgreesWithBaseline(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomBibGraph(r)
+		cachedMat, err := NewCached(g, 1<<16)
+		if err != nil {
+			return false
+		}
+		base := NewEngine(g)
+		withCache := NewEngine(g, WithMaterializer(cachedMat))
+		for _, src := range randomQueries(r, g) {
+			// Run twice to exercise both the miss and hit paths.
+			for k := 0; k < 2; k++ {
+				rb, err1 := base.Execute(src)
+				rc, err2 := withCache.Execute(src)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				if !resultsEqual(rb, rc) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewViewCached(t *testing.T) {
+	g := fig1Graph(t)
+	mat, _ := NewCached(g, 1024)
+	view, err := NewView(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Strategy() != StrategyCached || view.IndexBytes() != 0 {
+		t.Fatal("cached view should be an empty cache")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Index persistence
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	g := fig1Graph(t)
+	pm := NewPM(g)
+	var buf bytes.Buffer
+	if err := SaveIndex(pm, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(g, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Strategy() != StrategyPM {
+		t.Fatalf("strategy = %v", loaded.Strategy())
+	}
+	if loaded.IndexBytes() != pm.IndexBytes() {
+		t.Fatalf("index size %d != original %d", loaded.IndexBytes(), pm.IndexBytes())
+	}
+	// Loaded index answers queries identically.
+	src := `FIND OUTLIERS FROM author{"Zoe"}.paper.author JUDGED BY author.paper.venue;`
+	want, err := NewEngine(g, WithMaterializer(pm)).Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEngine(g, WithMaterializer(loaded)).Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(want, got) {
+		t.Fatal("loaded index diverges")
+	}
+	// Loaded index must be answered from the index, not traversal.
+	before := loaded.Stats()
+	p, _ := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	a, _ := g.Schema().TypeByName("author")
+	zoe, _ := g.VertexByName(a, "Zoe")
+	if _, err := loaded.NeighborVector(p, zoe); err != nil {
+		t.Fatal(err)
+	}
+	d := loaded.Stats().Sub(before)
+	if d.IndexedVectors != 1 || d.TraversedVectors != 0 {
+		t.Fatalf("loaded index stats = %+v", d)
+	}
+}
+
+func TestIndexFileHelpers(t *testing.T) {
+	g := fig1Graph(t)
+	a, _ := g.Schema().TypeByName("author")
+	zoe, _ := g.VertexByName(a, "Zoe")
+	spm := NewSPMVertices(g, []hin.VertexID{zoe})
+	path := filepath.Join(t.TempDir(), "index.noix")
+	if err := SaveIndexFile(spm, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndexFile(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Strategy() != StrategySPM || loaded.IndexBytes() != spm.IndexBytes() {
+		t.Fatal("SPM round trip failed")
+	}
+	if _, err := LoadIndexFile(g, filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := SaveIndexFile(NewBaseline(g), path); err == nil {
+		t.Error("baseline index save accepted")
+	}
+}
+
+func TestIndexLoadErrors(t *testing.T) {
+	g := fig1Graph(t)
+	pm := NewPM(g)
+	var buf bytes.Buffer
+	if err := SaveIndex(pm, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX0123456789"),
+		"truncated": good[:len(good)/2],
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadIndex(g, bytes.NewReader(data)); err == nil {
+				t.Error("corrupt index accepted")
+			}
+		})
+	}
+	// Graph mismatch.
+	g2 := fig1Graph(t)
+	b := hin.NewBuilder(g2.Schema())
+	a, _ := g2.Schema().TypeByName("author")
+	b.MustAddVertex(a, "Extra")
+	other := b.Build()
+	if _, err := LoadIndex(other, bytes.NewReader(good)); err == nil ||
+		!strings.Contains(err.Error(), "different graph") {
+		t.Errorf("graph mismatch not detected: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel PM
+
+func TestNewPMParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomBibGraph(r)
+	seq := NewPM(g)
+	par := NewPMParallel(g, 4)
+	if par.Strategy() != StrategyPM {
+		t.Fatal("strategy wrong")
+	}
+	if par.IndexBytes() != seq.IndexBytes() {
+		t.Fatalf("index sizes differ: %d vs %d", par.IndexBytes(), seq.IndexBytes())
+	}
+	for _, src := range randomQueries(r, g) {
+		rs, err1 := NewEngine(g, WithMaterializer(seq)).Execute(src)
+		rp, err2 := NewEngine(g, WithMaterializer(par)).Execute(src)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !resultsEqual(rs, rp) {
+			t.Fatalf("parallel PM diverges on %q", src)
+		}
+	}
+	// workers <= 0 defaults to GOMAXPROCS.
+	def := NewPMParallel(g, 0)
+	if def.IndexBytes() != seq.IndexBytes() {
+		t.Fatal("default-worker PM diverges")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+func TestHistogram(t *testing.T) {
+	scores := []float64{1, 1.1, 1.2, 5, 5.1, 5.2, 5.3, 9.9}
+	h, err := NewHistogram(scores, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Min != 1 || h.Max != 9.9 || h.Total != 8 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 8 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 4 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "8 scores") {
+		t.Fatalf("render = %q", out)
+	}
+	if out2 := h.Render(0); !strings.Contains(out2, "█") {
+		t.Fatal("default bar width broken")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("empty scores accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	nan := []float64{1, 2, 3}
+	nan = append(nan, []float64{0 / zero(), inf()}...)
+	h, err := NewHistogram(nan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 3 {
+		t.Fatalf("NaN/Inf not dropped: %+v", h)
+	}
+	// All-identical scores: single bin takes everything.
+	h, err = NewHistogram([]float64{2, 2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[3] != 3 {
+		t.Fatalf("degenerate histogram = %+v", h)
+	}
+}
+
+func zero() float64 { return 0 }
+func inf() float64  { return 1 / zero() }
+
+func TestResultScoreHistogram(t *testing.T) {
+	g := fig1Graph(t)
+	res, err := NewEngine(g).Execute(`FIND OUTLIERS FROM author{"Zoe"}.paper.author JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := res.ScoreHistogram(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 3 {
+		t.Fatalf("histogram total = %d", h.Total)
+	}
+	if h.Render(10) == "" {
+		t.Error("empty render")
+	}
+}
+
+// An SPM index with no materialized vertices must fall back to traversal
+// for length-2 paths (the traverseFrontier path) and still agree with the
+// baseline bit for bit.
+func TestIndexedMaterializerTraversalFallback(t *testing.T) {
+	g := fig1Graph(t)
+	empty := NewSPMVertices(g, nil) // nothing indexed
+	base := NewBaseline(g)
+	a, _ := g.Schema().TypeByName("author")
+	for _, dotted := range []string{"author.paper.venue", "author.paper.author", "author.paper.venue.paper.author"} {
+		p, err := metapath.ParseDotted(g.Schema(), dotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range g.VerticesOfType(a) {
+			want, err1 := base.NeighborVector(p, v)
+			got, err2 := empty.NeighborVector(p, v)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("fallback diverges for %s on %s: %v vs %v", dotted, g.Name(v), got, want)
+			}
+		}
+	}
+	st := empty.Stats()
+	if st.TraversedVectors == 0 || st.IndexedVectors != 0 {
+		t.Fatalf("fallback stats = %+v", st)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	g := fig1Graph(t)
+	pm := NewPM(g)
+	eng := NewEngine(g, WithMeasure(MeasureCosSim), WithMaterializer(pm), WithCombination(CombineConcat))
+	if eng.Graph() != g {
+		t.Error("Graph accessor wrong")
+	}
+	if eng.Measure() != MeasureCosSim {
+		t.Error("Measure accessor wrong")
+	}
+	if eng.Materializer() != pm {
+		t.Error("Materializer accessor wrong")
+	}
+	if eng.Combination() != CombineConcat {
+		t.Error("Combination accessor wrong")
+	}
+}
+
+// failWriter errors after n bytes, exercising SaveIndex's write error paths.
+type failWriter struct{ remaining int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, fmt.Errorf("synthetic write failure")
+	}
+	n := len(p)
+	if n > w.remaining {
+		n = w.remaining
+	}
+	w.remaining -= n
+	if n < len(p) {
+		return n, fmt.Errorf("synthetic write failure")
+	}
+	return n, nil
+}
+
+func TestSaveIndexWriteFailures(t *testing.T) {
+	g := fig1Graph(t)
+	pm := NewPM(g)
+	// Probe several truncation points: header, path table, vector payload.
+	for _, budget := range []int{0, 2, 10, 40, 100, 500} {
+		if err := SaveIndex(pm, &failWriter{remaining: budget}); err == nil {
+			t.Errorf("budget %d: write failure not propagated", budget)
+		}
+	}
+	// A big enough budget succeeds.
+	var buf bytes.Buffer
+	if err := SaveIndex(pm, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(pm, &failWriter{remaining: buf.Len()}); err != nil {
+		t.Fatalf("exact budget should succeed: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/oql"
+	"netout/internal/sparse"
+)
+
+// Explanations decompose a candidate's NetOut score coordinate by
+// coordinate. Under feature meta-path P,
+//
+//	Ω(vi) = Φ(vi)·S / ‖Φ(vi)‖²  with  S = Σ_{vj∈Sr} Φ(vj),
+//
+// so each neighbor u the candidate reaches contributes
+// Φ(vi)[u]·S[u]/‖Φ(vi)‖² to the score. Low total contribution — i.e. the
+// candidate's connectivity mass sits on neighbors the reference set barely
+// touches — is exactly what makes a vertex an outlier, and listing the
+// coordinates makes the judgment auditable ("most of her papers are at
+// SIGGRAPH, where the reference set has almost no presence").
+
+// Contribution is one neighbor coordinate of an explanation.
+type Contribution struct {
+	// Neighbor is the vertex at this coordinate (a venue for the meta-path
+	// author.paper.venue) and Name its display name.
+	Neighbor hin.VertexID
+	Name     string
+	// CandidateCount is Φ(vi)[u]: the candidate's path count to Neighbor.
+	CandidateCount float64
+	// CandidateShare is the share of the candidate's squared connectivity
+	// mass at this coordinate, Φ(vi)[u]²/‖Φ(vi)‖².
+	CandidateShare float64
+	// ReferenceCount is S[u]: the reference set's total path count to
+	// Neighbor.
+	ReferenceCount float64
+	// Omega is this coordinate's additive contribution to the candidate's
+	// NetOut score.
+	Omega float64
+}
+
+// PathExplanation explains one feature meta-path's score for a candidate.
+type PathExplanation struct {
+	Path   string // dotted form
+	Weight float64
+	// Score is the candidate's Ω under this path alone (NaN if the
+	// candidate has zero visibility under the path).
+	Score float64
+	// Visibility is ‖Φ(vi)‖², the candidate's potential connectivity.
+	Visibility float64
+	// Contributions lists the candidate's neighbor coordinates, largest
+	// candidate share first, truncated to the requested limit.
+	Contributions []Contribution
+}
+
+// Explanation is the full audit record for one candidate of a query.
+type Explanation struct {
+	Vertex hin.VertexID
+	Name   string
+	// Score is the candidate's combined score as Execute would report it.
+	Score float64
+	Paths []PathExplanation
+}
+
+// Explain runs the query's set resolution and explains the given candidate
+// vertex (by name, within the candidate element type). topN bounds the
+// contributions listed per path (0 means all).
+func (e *Engine) Explain(src string, candidateName string, topN int) (*Explanation, error) {
+	q, err := oql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExplainQuery(q, candidateName, topN)
+}
+
+// ExplainQuery is Explain for a parsed query.
+func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Explanation, error) {
+	e.resetCtx()
+	if e.measure != MeasureNetOut {
+		return nil, fmt.Errorf("core: explanations are defined for the NetOut measure (engine uses %s)", e.measure)
+	}
+	elemType, err := oql.Validate(q, e.g.Schema())
+	if err != nil {
+		return nil, err
+	}
+	target, ok := e.g.VertexByName(elemType, candidateName)
+	if !ok {
+		return nil, fmt.Errorf("core: no %s named %q", e.g.Schema().TypeName(elemType), candidateName)
+	}
+	cands, err := e.EvalSet(q.From)
+	if err != nil {
+		return nil, err
+	}
+	if !containsVertex(cands, target) {
+		return nil, fmt.Errorf("core: %q is not in the query's candidate set", candidateName)
+	}
+	refs := cands
+	if q.ComparedTo != nil {
+		if refs, err = e.EvalSet(q.ComparedTo); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Explanation{Vertex: target, Name: candidateName}
+	totalWeight := 0.0
+	for _, f := range q.Features {
+		totalWeight += f.Weight
+	}
+	for _, f := range q.Features {
+		p, err := metapath.FromNames(e.g.Schema(), f.Segments...)
+		if err != nil {
+			return nil, err
+		}
+		phi, err := e.mat.NeighborVector(p, target)
+		if err != nil {
+			return nil, err
+		}
+		refSum := sparse.NewAccumulator(64)
+		for _, r := range refs {
+			rv, err := e.mat.NeighborVector(p, r)
+			if err != nil {
+				return nil, err
+			}
+			refSum.AddVector(rv, 1)
+		}
+		s := refSum.Take()
+
+		pe := PathExplanation{
+			Path:       strings.Join(f.Segments, "."),
+			Weight:     f.Weight,
+			Visibility: phi.Norm2Sq(),
+		}
+		if pe.Visibility > 0 {
+			for k := range phi.Idx {
+				u := hin.VertexID(phi.Idx[k])
+				c := Contribution{
+					Neighbor:       u,
+					Name:           e.g.Name(u),
+					CandidateCount: phi.Val[k],
+					CandidateShare: phi.Val[k] * phi.Val[k] / pe.Visibility,
+					ReferenceCount: s.At(phi.Idx[k]),
+				}
+				c.Omega = c.CandidateCount * c.ReferenceCount / pe.Visibility
+				pe.Score += c.Omega
+				pe.Contributions = append(pe.Contributions, c)
+			}
+			sort.Slice(pe.Contributions, func(a, b int) bool {
+				ca, cb := pe.Contributions[a], pe.Contributions[b]
+				if ca.CandidateShare != cb.CandidateShare {
+					return ca.CandidateShare > cb.CandidateShare
+				}
+				return ca.Neighbor < cb.Neighbor
+			})
+			if topN > 0 && len(pe.Contributions) > topN {
+				pe.Contributions = pe.Contributions[:topN]
+			}
+			out.Score += f.Weight * pe.Score / totalWeight
+		}
+		out.Paths = append(out.Paths, pe)
+	}
+	return out, nil
+}
+
+// Format renders the explanation for terminal display.
+func (x *Explanation) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — combined Ω = %.4f (smaller = more outlying)\n", x.Name, x.Score)
+	for _, p := range x.Paths {
+		fmt.Fprintf(&sb, "  path %s (weight %g): Ω = %.4f, visibility = %.0f\n",
+			p.Path, p.Weight, p.Score, p.Visibility)
+		if len(p.Contributions) == 0 {
+			sb.WriteString("    (no connectivity under this path — candidate skipped)\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "    %-28s %12s %10s %12s %10s\n",
+			"neighbor", "cand count", "share", "ref count", "Ω part")
+		for _, c := range p.Contributions {
+			fmt.Fprintf(&sb, "    %-28s %12.0f %9.1f%% %12.0f %10.4f\n",
+				c.Name, c.CandidateCount, 100*c.CandidateShare, c.ReferenceCount, c.Omega)
+		}
+	}
+	return sb.String()
+}
+
+func containsVertex(sorted []hin.VertexID, v hin.VertexID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/sparse"
+)
+
+// Strategy identifies a materialization strategy from Section 6.
+type Strategy int
+
+const (
+	// StrategyBaseline traverses the network for every neighbor vector.
+	StrategyBaseline Strategy = iota
+	// StrategyPM pre-materializes all length-2 meta-path neighbor vectors.
+	StrategyPM
+	// StrategySPM pre-materializes length-2 vectors only for vertices that
+	// appear frequently in an initialization query set.
+	StrategySPM
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBaseline:
+		return "Baseline"
+	case StrategyPM:
+		return "PM"
+	case StrategySPM:
+		return "SPM"
+	case StrategyCached:
+		return "Cached"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// MatStats accumulates the per-call cost split the Figure 4 study reports:
+// time and vector counts for index hits versus network traversal.
+type MatStats struct {
+	IndexedTime      time.Duration
+	TraversalTime    time.Duration
+	IndexedVectors   int64
+	TraversedVectors int64
+}
+
+// Sub returns the difference s - o, for snapshot-style interval measurement.
+func (s MatStats) Sub(o MatStats) MatStats {
+	return MatStats{
+		IndexedTime:      s.IndexedTime - o.IndexedTime,
+		TraversalTime:    s.TraversalTime - o.TraversalTime,
+		IndexedVectors:   s.IndexedVectors - o.IndexedVectors,
+		TraversedVectors: s.TraversedVectors - o.TraversedVectors,
+	}
+}
+
+// Materializer produces neighbor vectors Φ_P(v), possibly from a
+// pre-computed index. Implementations are not safe for concurrent use.
+type Materializer interface {
+	// NeighborVector returns Φ_P(v).
+	NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error)
+	// Strategy identifies the implementation.
+	Strategy() Strategy
+	// IndexBytes reports the in-memory size of the pre-materialized index
+	// (0 for the baseline), as studied in Figure 5b.
+	IndexBytes() int64
+	// Stats returns cumulative cost counters since construction.
+	Stats() MatStats
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+type baseline struct {
+	tr    *metapath.Traverser
+	stats MatStats
+}
+
+// NewBaseline returns the traversal-only materializer of Section 6.1.
+func NewBaseline(g *hin.Graph) Materializer {
+	return &baseline{tr: metapath.NewTraverser(g)}
+}
+
+func (b *baseline) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error) {
+	start := time.Now()
+	vec, err := b.tr.NeighborVector(p, v)
+	b.stats.TraversalTime += time.Since(start)
+	b.stats.TraversedVectors++
+	return vec, err
+}
+
+func (b *baseline) Strategy() Strategy { return StrategyBaseline }
+func (b *baseline) IndexBytes() int64  { return 0 }
+func (b *baseline) Stats() MatStats    { return b.stats }
+
+// ---------------------------------------------------------------------------
+// Shared index machinery for PM and SPM
+
+// pathIndex stores pre-materialized Φ vectors for a set of length-2
+// meta-paths, keyed by path then source vertex.
+type pathIndex struct {
+	vectors map[string]map[hin.VertexID]sparse.Vector
+	bytes   int64
+}
+
+func newPathIndex() *pathIndex {
+	return &pathIndex{vectors: make(map[string]map[hin.VertexID]sparse.Vector)}
+}
+
+func (ix *pathIndex) put(p metapath.Path, v hin.VertexID, vec sparse.Vector) {
+	key := p.Key()
+	m := ix.vectors[key]
+	if m == nil {
+		m = make(map[hin.VertexID]sparse.Vector)
+		ix.vectors[key] = m
+	}
+	if old, ok := m[v]; ok {
+		ix.bytes -= int64(old.Bytes())
+	}
+	m[v] = vec
+	// Account the vector payload plus a fixed per-entry overhead for the map
+	// key and slice headers.
+	ix.bytes += int64(vec.Bytes()) + indexEntryOverhead
+}
+
+// indexEntryOverhead approximates the per-entry bookkeeping cost of the
+// index (map bucket share, vertex key, two slice headers).
+const indexEntryOverhead = 4 + 2*24
+
+func (ix *pathIndex) get(p metapath.Path, v hin.VertexID) (sparse.Vector, bool) {
+	m, ok := ix.vectors[p.Key()]
+	if !ok {
+		return sparse.Vector{}, false
+	}
+	vec, ok := m[v]
+	return vec, ok
+}
+
+// allLength2Paths enumerates every schema-valid length-2 meta-path.
+func allLength2Paths(s *hin.Schema) []metapath.Path {
+	var out []metapath.Path
+	for t0 := 0; t0 < s.NumTypes(); t0++ {
+		for _, t1 := range s.AllowedFrom(hin.TypeID(t0)) {
+			for _, t2 := range s.AllowedFrom(t1) {
+				out = append(out, metapath.MustNew(hin.TypeID(t0), t1, t2))
+			}
+		}
+	}
+	return out
+}
+
+// indexedMaterializer resolves arbitrary meta-paths against a (possibly
+// partial) length-2 index: the path is consumed two hops at a time, looking
+// up the indexed vector when present and traversing otherwise, exactly as
+// the decomposition identity of Section 6.2 prescribes:
+//
+//	Φ_{P1 P2}(v) = Σ_j |π_P1(v, vj)| · Φ_P2(vj)
+type indexedMaterializer struct {
+	tr       *metapath.Traverser
+	ix       *pathIndex
+	strategy Strategy
+	stats    MatStats
+}
+
+func (m *indexedMaterializer) Strategy() Strategy { return m.strategy }
+func (m *indexedMaterializer) IndexBytes() int64  { return m.ix.bytes }
+func (m *indexedMaterializer) Stats() MatStats    { return m.stats }
+
+func (m *indexedMaterializer) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error) {
+	g := m.tr.Graph()
+	if p.IsZero() {
+		return sparse.Vector{}, fmt.Errorf("core: zero meta-path")
+	}
+	if !g.Valid(v) {
+		return sparse.Vector{}, fmt.Errorf("core: vertex %d out of range", v)
+	}
+	if g.Type(v) != p.Source() {
+		return sparse.Vector{}, fmt.Errorf("core: vertex %d has type %s, path starts at %s",
+			v, g.Schema().TypeName(g.Type(v)), g.Schema().TypeName(p.Source()))
+	}
+	// Whole-path fast path: length-2 paths are looked up directly.
+	if p.Hops() == 2 {
+		if vec, ok := m.lookup(p, v); ok {
+			return vec, nil
+		}
+		return m.traverseFrontier(p, 0, sparse.Vector{Idx: []int32{int32(v)}, Val: []float64{1}}), nil
+	}
+
+	frontier := sparse.Vector{Idx: []int32{int32(v)}, Val: []float64{1}}
+	hop := 0
+	for p.Hops()-hop >= 2 {
+		chunk := metapath.MustNew(p.Type(hop), p.Type(hop+1), p.Type(hop+2))
+		next := sparse.NewAccumulator(frontier.NNZ() * 4)
+		for i := range frontier.Idx {
+			u := hin.VertexID(frontier.Idx[i])
+			w := frontier.Val[i]
+			if vec, ok := m.lookup(chunk, u); ok {
+				next.AddVector(vec, w)
+				continue
+			}
+			start := time.Now()
+			vec, err := m.tr.NeighborVector(chunk, u)
+			m.stats.TraversalTime += time.Since(start)
+			m.stats.TraversedVectors++
+			if err != nil {
+				return sparse.Vector{}, err
+			}
+			next.AddVector(vec, w)
+		}
+		frontier = next.Take()
+		hop += 2
+		if frontier.IsZero() {
+			return frontier, nil
+		}
+	}
+	if p.Hops()-hop == 1 {
+		// Odd-length tail: a single network hop (Section 6.2: "even if the
+		// original meta-path is odd-length, we only need to traverse the
+		// network for a single hop").
+		start := time.Now()
+		frontier = m.tr.Expand(frontier, p.Type(p.Hops()))
+		m.stats.TraversalTime += time.Since(start)
+		m.stats.TraversedVectors++
+	}
+	return frontier, nil
+}
+
+func (m *indexedMaterializer) lookup(chunk metapath.Path, v hin.VertexID) (sparse.Vector, bool) {
+	start := time.Now()
+	vec, ok := m.ix.get(chunk, v)
+	if ok {
+		m.stats.IndexedTime += time.Since(start)
+		m.stats.IndexedVectors++
+	}
+	return vec, ok
+}
+
+func (m *indexedMaterializer) traverseFrontier(p metapath.Path, fromHop int, frontier sparse.Vector) sparse.Vector {
+	start := time.Now()
+	for hop := fromHop; hop < p.Hops(); hop++ {
+		frontier = m.tr.Expand(frontier, p.Type(hop+1))
+		if frontier.IsZero() {
+			break
+		}
+	}
+	m.stats.TraversalTime += time.Since(start)
+	m.stats.TraversedVectors++
+	return frontier
+}
+
+// ---------------------------------------------------------------------------
+// PM
+
+// NewPM builds the full pre-materialization strategy: Φ vectors for every
+// schema-valid length-2 meta-path from every vertex. Construction cost is
+// deliberately front-loaded (it models an offline indexing phase); query
+// time then pays only index lookups plus single-hop traversal for
+// odd-length paths.
+func NewPM(g *hin.Graph) Materializer {
+	return NewPMPaths(g, allLength2Paths(g.Schema()))
+}
+
+// NewPMPaths builds PM restricted to a subset of length-2 meta-paths
+// (Section 6.2: "we may compute all length-2 paths or only a subset").
+func NewPMPaths(g *hin.Graph, paths []metapath.Path) Materializer {
+	tr := metapath.NewTraverser(g)
+	ix := newPathIndex()
+	for _, p := range paths {
+		if p.Hops() != 2 {
+			panic(fmt.Sprintf("core: PM pre-materializes length-2 paths only, got %v", p))
+		}
+		for _, v := range g.VerticesOfType(p.Source()) {
+			vec, err := tr.NeighborVector(p, v)
+			if err != nil {
+				// Unreachable: sources are enumerated by type.
+				panic(err)
+			}
+			ix.put(p, v, vec)
+		}
+	}
+	return &indexedMaterializer{tr: tr, ix: ix, strategy: StrategyPM}
+}
+
+// ---------------------------------------------------------------------------
+// SPM
+
+// SPMConfig configures selective pre-materialization.
+type SPMConfig struct {
+	// Threshold is the relative frequency cutoff: a vertex is materialized
+	// if it appears in the candidate set of at least Threshold·|queries| of
+	// the initialization queries (Section 6.2; the paper studies 0.001,
+	// 0.01, 0.05 and 0.1).
+	Threshold float64
+}
+
+// NewSPM builds the selective pre-materialization strategy from an
+// initialization query set: it resolves each query's candidate set with a
+// throwaway baseline engine, counts how often each vertex appears across
+// candidate sets, and pre-materializes all length-2 meta-paths starting
+// from the vertices whose relative frequency reaches the threshold.
+func NewSPM(g *hin.Graph, initQueries []string, cfg SPMConfig) (Materializer, error) {
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("core: SPM threshold must be in [0,1], got %g", cfg.Threshold)
+	}
+	freq := make(map[hin.VertexID]int)
+	probe := NewEngine(g)
+	for _, src := range initQueries {
+		members, err := probe.CandidateSet(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: SPM initialization query %q: %w", src, err)
+		}
+		for _, v := range members {
+			freq[v]++
+		}
+	}
+	cutoff := cfg.Threshold * float64(len(initQueries))
+	var selected []hin.VertexID
+	for v, n := range freq {
+		if float64(n) >= cutoff {
+			selected = append(selected, v)
+		}
+	}
+	return newSPMFromVertices(g, selected), nil
+}
+
+// NewSPMVertices builds SPM with an explicit pre-selected vertex set,
+// bypassing the frequency-counting phase. Useful for tests and for callers
+// that track query logs themselves.
+func NewSPMVertices(g *hin.Graph, vertices []hin.VertexID) Materializer {
+	return newSPMFromVertices(g, vertices)
+}
+
+func newSPMFromVertices(g *hin.Graph, selected []hin.VertexID) Materializer {
+	tr := metapath.NewTraverser(g)
+	ix := newPathIndex()
+	byType := make(map[hin.TypeID][]hin.VertexID)
+	for _, v := range selected {
+		byType[g.Type(v)] = append(byType[g.Type(v)], v)
+	}
+	for _, p := range allLength2Paths(g.Schema()) {
+		for _, v := range byType[p.Source()] {
+			vec, err := tr.NeighborVector(p, v)
+			if err != nil {
+				panic(err)
+			}
+			ix.put(p, v, vec)
+		}
+	}
+	return &indexedMaterializer{tr: tr, ix: ix, strategy: StrategySPM}
+}

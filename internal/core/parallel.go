@@ -1,0 +1,85 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/sparse"
+)
+
+// NewPMParallel builds the full PM index using a worker pool: the
+// per-vertex Φ computations of a length-2 path are independent, so index
+// construction parallelizes embarrassingly. workers <= 0 uses GOMAXPROCS.
+// The resulting materializer is identical to NewPM's.
+func NewPMParallel(g *hin.Graph, workers int) Materializer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	paths := allLength2Paths(g.Schema())
+	ix := newPathIndex()
+
+	type job struct {
+		path metapath.Path
+		lo   int
+		hi   int
+	}
+	type chunkResult struct {
+		path metapath.Path
+		lo   int
+		vecs []sparse.Vector
+	}
+
+	const chunkSize = 1024
+	var jobs []job
+	for _, p := range paths {
+		n := len(g.VerticesOfType(p.Source()))
+		for lo := 0; lo < n; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			jobs = append(jobs, job{p, lo, hi})
+		}
+	}
+
+	jobCh := make(chan job)
+	resCh := make(chan chunkResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := metapath.NewTraverser(g)
+			for jb := range jobCh {
+				src := g.VerticesOfType(jb.path.Source())
+				vecs := make([]sparse.Vector, jb.hi-jb.lo)
+				for i := jb.lo; i < jb.hi; i++ {
+					vec, err := tr.NeighborVector(jb.path, src[i])
+					if err != nil {
+						// Unreachable: sources enumerate the path's source type.
+						panic(err)
+					}
+					vecs[i-jb.lo] = vec
+				}
+				resCh <- chunkResult{jb.path, jb.lo, vecs}
+			}
+		}()
+	}
+	go func() {
+		for _, jb := range jobs {
+			jobCh <- jb
+		}
+		close(jobCh)
+		wg.Wait()
+		close(resCh)
+	}()
+	for cr := range resCh {
+		src := g.VerticesOfType(cr.path.Source())
+		for i, vec := range cr.vecs {
+			ix.put(cr.path, src[cr.lo+i], vec)
+		}
+	}
+	return &indexedMaterializer{tr: metapath.NewTraverser(g), ix: ix, strategy: StrategyPM}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"netout/internal/hin"
+)
+
+// Template is a query template in the style of Table 4: the marker "{}" is
+// replaced by a quoted vertex name to generate a concrete query.
+type Template struct {
+	Name string
+	Text string
+}
+
+// Instantiate substitutes name into the template's placeholder.
+func (t Template) Instantiate(name string) string {
+	quoted := `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(name) + `"`
+	return strings.Replace(t.Text, "{}", "{"+quoted+"}", 1)
+}
+
+// PaperTemplates returns the three query templates of Table 4, used for the
+// efficiency experiments: 10,000 random authors are substituted into each.
+func PaperTemplates() []Template {
+	return []Template{
+		{Name: "Q1", Text: `FIND OUTLIERS FROM author{}.paper.author
+JUDGED BY author.paper.venue
+TOP 10;`},
+		{Name: "Q2", Text: `FIND OUTLIERS IN author{}.paper.venue
+JUDGED BY venue.paper.term
+TOP 10;`},
+		{Name: "Q3", Text: `FIND OUTLIERS IN author{}.paper.term
+JUDGED BY term.paper.venue
+TOP 10;`},
+	}
+}
+
+// RandomVertexNames samples n vertex names of the given type uniformly with
+// replacement, deterministically from seed. It mirrors the paper's
+// construction of query sets ("we randomly select 10,000 author-typed
+// vertices").
+func RandomVertexNames(g *hin.Graph, typeName string, n int, seed int64) ([]string, error) {
+	t, ok := g.Schema().TypeByName(typeName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown vertex type %q", typeName)
+	}
+	vs := g.VerticesOfType(t)
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("core: no vertices of type %q", typeName)
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Name(vs[r.Intn(len(vs))])
+	}
+	return out, nil
+}
+
+// BuildQuerySet instantiates the template once per name.
+func BuildQuerySet(t Template, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = t.Instantiate(n)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Score-distribution visualization: Section 8 suggests that "it might be
+// helpful to visualize outliers to provide more insight". A terminal
+// histogram of the candidate scores makes the outlier gap visible at a
+// glance: a healthy query shows a dense bulk of normal candidates and a
+// thin low tail of outliers.
+
+// Histogram is a binned view of a score distribution.
+type Histogram struct {
+	Min, Max float64
+	// Counts[i] covers [Min + i·w, Min + (i+1)·w) with w = (Max-Min)/len;
+	// the last bin is closed on the right.
+	Counts []int
+	Total  int
+}
+
+// NewHistogram bins the finite values among scores into the given number
+// of bins. NaN and infinite scores are dropped; bins must be ≥ 1.
+func NewHistogram(scores []float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("core: histogram needs at least one bin")
+	}
+	var finite []float64
+	for _, s := range scores {
+		if !math.IsNaN(s) && !math.IsInf(s, 0) {
+			finite = append(finite, s)
+		}
+	}
+	if len(finite) == 0 {
+		return nil, fmt.Errorf("core: no finite scores to bin")
+	}
+	h := &Histogram{Min: finite[0], Max: finite[0], Counts: make([]int, bins), Total: len(finite)}
+	for _, s := range finite {
+		if s < h.Min {
+			h.Min = s
+		}
+		if s > h.Max {
+			h.Max = s
+		}
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for _, s := range finite {
+		i := bins - 1
+		if width > 0 {
+			i = int((s - h.Min) / width)
+			if i >= bins {
+				i = bins - 1
+			}
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Render draws the histogram with unicode bars scaled to barWidth.
+func (h *Histogram) Render(barWidth int) string {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*width
+		hi := lo + width
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%10.3f..%-10.3f |%-*s %d\n", lo, hi, barWidth, strings.Repeat("█", bar), c)
+	}
+	fmt.Fprintf(&sb, "%d scores in [%.3f, %.3f]; smaller = more outlying\n", h.Total, h.Min, h.Max)
+	return sb.String()
+}
+
+// ScoreHistogram bins a result's entry scores.
+func (r *Result) ScoreHistogram(bins int) (*Histogram, error) {
+	scores := make([]float64, len(r.Entries))
+	for i, e := range r.Entries {
+		scores[i] = e.Score
+	}
+	return NewHistogram(scores, bins)
+}

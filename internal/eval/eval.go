@@ -1,0 +1,148 @@
+// Package eval provides ranking-evaluation metrics for outlier detection
+// experiments: precision/recall at k, average precision and ROC AUC against
+// a ground-truth set of planted outliers. The case-study experiments use it
+// to score NetOut and the baselines against the generator's manifest.
+//
+// All functions take a ranked list of item identifiers, most outlying
+// first, and the ground-truth positive set.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PrecisionAtK is the fraction of the top-k ranked items that are
+// positives. k is clamped to the ranking length.
+func PrecisionAtK(ranked []string, positives map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, id := range ranked[:k] {
+		if positives[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK is the fraction of positives found in the top-k ranked items.
+func RecallAtK(ranked []string, positives map[string]bool, k int) float64 {
+	if len(positives) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for _, id := range ranked[:k] {
+		if positives[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(positives))
+}
+
+// AveragePrecision is the mean of precision@k over the ranks k at which a
+// positive appears, normalized by the number of positives (AP as used for
+// ranked retrieval). Positives missing from the ranking contribute zero.
+func AveragePrecision(ranked []string, positives map[string]bool) float64 {
+	if len(positives) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, id := range ranked {
+		if positives[id] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(positives))
+}
+
+// ROCAUC computes the area under the ROC curve for a ranking: the
+// probability that a uniformly random positive is ranked above a uniformly
+// random negative. Items absent from the ranking are treated as ranked
+// below everything (ties broken pessimistically). An error is returned if
+// either class is empty among the union of ranked items and positives.
+func ROCAUC(ranked []string, positives map[string]bool) (float64, error) {
+	rank := make(map[string]int, len(ranked))
+	for i, id := range ranked {
+		rank[id] = i
+	}
+	worst := len(ranked)
+	var posRanks, negRanks []int
+	seen := map[string]bool{}
+	for _, id := range ranked {
+		seen[id] = true
+		if positives[id] {
+			posRanks = append(posRanks, rank[id])
+		} else {
+			negRanks = append(negRanks, rank[id])
+		}
+	}
+	for id := range positives {
+		if !seen[id] {
+			posRanks = append(posRanks, worst)
+		}
+	}
+	if len(posRanks) == 0 || len(negRanks) == 0 {
+		return 0, fmt.Errorf("eval: ROC AUC needs both positives (%d) and negatives (%d)",
+			len(posRanks), len(negRanks))
+	}
+	// Count positive<negative pairs (smaller rank = more outlying = better).
+	sort.Ints(negRanks)
+	var wins, ties float64
+	for _, pr := range posRanks {
+		lo := sort.SearchInts(negRanks, pr)   // negatives ranked above pr
+		hi := sort.SearchInts(negRanks, pr+1) // negatives tied with pr
+		wins += float64(len(negRanks) - hi)
+		ties += float64(hi - lo)
+	}
+	total := float64(len(posRanks) * len(negRanks))
+	return (wins + ties/2) / total, nil
+}
+
+// Report bundles the standard metric set for one method.
+type Report struct {
+	Method    string
+	K         int
+	Precision float64
+	Recall    float64
+	AP        float64
+	AUC       float64
+}
+
+// Evaluate computes the full report for a ranking.
+func Evaluate(method string, ranked []string, positives map[string]bool, k int) (Report, error) {
+	auc, err := ROCAUC(ranked, positives)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Method:    method,
+		K:         k,
+		Precision: PrecisionAtK(ranked, positives, k),
+		Recall:    RecallAtK(ranked, positives, k),
+		AP:        AveragePrecision(ranked, positives),
+		AUC:       auc,
+	}, nil
+}
+
+// FormatReports renders reports as an aligned table.
+func FormatReports(reports []Report) string {
+	out := fmt.Sprintf("%-24s %12s %12s %8s %8s\n", "method", "precision@k", "recall@k", "AP", "AUC")
+	for _, r := range reports {
+		out += fmt.Sprintf("%-24s %12.2f %12.2f %8.2f %8.2f\n",
+			r.Method, r.Precision, r.Recall, r.AP, r.AUC)
+	}
+	return out
+}

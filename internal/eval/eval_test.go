@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pos(ids ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []string{"a", "b", "c", "d"}
+	p := pos("a", "c")
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1}, {2, 0.5}, {3, 2.0 / 3}, {4, 0.5}, {10, 0.5}, {0, 0}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := PrecisionAtK(ranked, p, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P@%d = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if PrecisionAtK(nil, p, 3) != 0 {
+		t.Error("empty ranking should be 0")
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	ranked := []string{"a", "b", "c", "d"}
+	p := pos("a", "c", "zz")
+	if got := RecallAtK(ranked, p, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("R@3 = %g", got)
+	}
+	if got := RecallAtK(ranked, p, 100); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("R@100 = %g", got)
+	}
+	if RecallAtK(ranked, nil, 3) != 0 {
+		t.Error("no positives should be 0")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Positives at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+	ranked := []string{"a", "b", "c"}
+	if got := AveragePrecision(ranked, pos("a", "c")); math.Abs(got-(1+2.0/3)/2) > 1e-12 {
+		t.Errorf("AP = %g", got)
+	}
+	// Perfect ranking: AP = 1.
+	if got := AveragePrecision([]string{"a", "b", "x"}, pos("a", "b")); got != 1 {
+		t.Errorf("perfect AP = %g", got)
+	}
+	// Missing positive halves the best case.
+	if got := AveragePrecision([]string{"a"}, pos("a", "missing")); got != 0.5 {
+		t.Errorf("missing-positive AP = %g", got)
+	}
+	if AveragePrecision(ranked, nil) != 0 {
+		t.Error("no positives should be 0")
+	}
+}
+
+func TestROCAUC(t *testing.T) {
+	// Perfect separation.
+	auc, err := ROCAUC([]string{"p1", "p2", "n1", "n2"}, pos("p1", "p2"))
+	if err != nil || auc != 1 {
+		t.Fatalf("perfect AUC = %g, %v", auc, err)
+	}
+	// Inverted ranking.
+	auc, err = ROCAUC([]string{"n1", "n2", "p1", "p2"}, pos("p1", "p2"))
+	if err != nil || auc != 0 {
+		t.Fatalf("inverted AUC = %g, %v", auc, err)
+	}
+	// Interleaved: p n p n → pairs (p1,n1) win, (p1,n2) win, (p2,n1) lose, (p2,n2) win = 3/4.
+	auc, err = ROCAUC([]string{"p1", "n1", "p2", "n2"}, pos("p1", "p2"))
+	if err != nil || math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("interleaved AUC = %g, %v", auc, err)
+	}
+	// Unranked positive sits below all ranked items.
+	auc, err = ROCAUC([]string{"p1", "n1"}, pos("p1", "ghost"))
+	if err != nil || math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("ghost AUC = %g, %v", auc, err)
+	}
+	if _, err := ROCAUC([]string{"p1"}, pos("p1")); err == nil {
+		t.Error("single-class AUC should fail")
+	}
+	if _, err := ROCAUC([]string{"n1"}, nil); err == nil {
+		t.Error("no positives should fail")
+	}
+}
+
+func TestEvaluateAndFormat(t *testing.T) {
+	rep, err := Evaluate("NetOut", []string{"p", "n", "n"}, pos("p"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Precision != 1 || rep.Recall != 1 || rep.AP != 1 || rep.AUC != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	out := FormatReports([]Report{rep})
+	if !strings.Contains(out, "NetOut") || !strings.Contains(out, "AUC") {
+		t.Fatalf("format = %q", out)
+	}
+	if _, err := Evaluate("x", []string{"p"}, pos("p"), 1); err == nil {
+		t.Error("degenerate Evaluate should fail")
+	}
+}
+
+// AUC must be invariant to how many negatives trail the ranking's positives
+// region, and AP must be monotone when a positive moves up.
+func TestQuickMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(10)
+		var ranked []string
+		positives := map[string]bool{}
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			ranked = append(ranked, id)
+			if r.Intn(3) == 0 {
+				positives[id] = true
+			}
+		}
+		if len(positives) == 0 || len(positives) == n {
+			return true
+		}
+		auc, err := ROCAUC(ranked, positives)
+		if err != nil || auc < 0 || auc > 1 {
+			return false
+		}
+		ap := AveragePrecision(ranked, positives)
+		if ap < 0 || ap > 1 {
+			return false
+		}
+		// Swapping a positive one rank up never decreases AP or AUC.
+		for i := 1; i < n; i++ {
+			if positives[ranked[i]] && !positives[ranked[i-1]] {
+				swapped := append([]string(nil), ranked...)
+				swapped[i-1], swapped[i] = swapped[i], swapped[i-1]
+				ap2 := AveragePrecision(swapped, positives)
+				auc2, err := ROCAUC(swapped, positives)
+				if err != nil || ap2 < ap-1e-12 || auc2 < auc-1e-12 {
+					return false
+				}
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

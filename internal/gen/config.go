@@ -1,0 +1,168 @@
+// Package gen generates synthetic DBLP-like bibliographic heterogeneous
+// information networks. It substitutes for the ArnetMiner data set of the
+// paper's experiments (Section 7.1), which is not redistributable: the
+// generator reproduces the structural statistics the experiments depend on
+// (multiple research communities, Zipfian author productivity and venue
+// popularity, community-clustered term vocabularies) and plants the outlier
+// profiles the case studies look for:
+//
+//   - a prolific "hub" author (the Christos Faloutsos analog) with a pool
+//     of normal coauthors publishing in the hub's community;
+//   - established cross-field coauthors who publish most of their work in
+//     other communities' venues (high visibility, genuinely outlying
+//     venues — the Adam Wright / Philip Koopman analogs);
+//   - single-paper student coauthors in rare venues (low visibility — the
+//     John Chien-Han Tseng analog, and the profile PathSim/CosSim favor);
+//   - "loner" coauthors with normal venues but a disjoint collaboration
+//     network (the Ee-Peng Lim analog, outlying only under A.P.A);
+//   - a NULL-named author spread across many communities' venues (the
+//     missing-data artifact topping the third Table 5 query).
+package gen
+
+import "fmt"
+
+// Config controls generation. All sampling is deterministic given Seed.
+type Config struct {
+	Seed int64
+
+	// Background network shape.
+	Communities         int // research communities
+	AuthorsPerCommunity int
+	VenuesPerCommunity  int
+	TermsPerCommunity   int
+	SharedTerms         int // vocabulary shared across communities
+	Papers              int // background papers
+	MaxAuthorsPerPaper  int
+	MaxTermsPerPaper    int
+	// CrossCommunityProb is the probability that a background paper draws
+	// one author from a foreign community (models interdisciplinarity).
+	CrossCommunityProb float64
+	// ProductivityZipf and VenueZipf are the Zipf exponents for author
+	// productivity and venue popularity (weights ∝ 1/rank^s).
+	ProductivityZipf float64
+	VenueZipf        float64
+
+	Planted Planted
+}
+
+// Planted controls the outlier profiles attached to community 0.
+type Planted struct {
+	// Disable turns off all planted structure (pure background network).
+	Disable bool
+
+	HubName         string
+	HubPapers       int // hub's own papers, all in community-0 venues
+	NormalCoauthors int // pool of ordinary coauthors
+	NormalPapers    int // papers each normal coauthor publishes on their own
+
+	CrossFieldCoauthors int // established authors mostly publishing elsewhere
+	CrossFieldPapers    int // foreign-community papers for each
+
+	StudentCoauthors int // single-paper coauthors in rare venues
+	// RareVenueExtras is how many singleton papers by normal coauthors each
+	// rare venue also receives, so rare venues are uncommon rather than
+	// exclusive (keeps NetOut from trivially ranking students first, as in
+	// the paper where Tseng appears at rank 7, not rank 1).
+	RareVenueExtras int
+
+	LonerCoauthors int // normal venues, disjoint collaboration network
+	LonerPapers    int
+	LonerClique    int // size of each loner's private collaborator clique
+
+	NullAuthor       bool // plant the "NULL" missing-data artifact
+	NullPapers       int  // papers concentrated in junk venues nobody else uses
+	NullInMainVenue  int  // papers in community 0's main venue (so NULL joins its author set)
+	MainVenueAnchors int  // extra normal-coauthor papers in the main venue
+}
+
+// Default returns a mid-sized configuration suitable for case studies and
+// tests: a few thousand papers, deterministic for a fixed seed.
+func Default() Config {
+	return Config{
+		Seed:                1,
+		Communities:         5,
+		AuthorsPerCommunity: 200,
+		VenuesPerCommunity:  8,
+		TermsPerCommunity:   150,
+		SharedTerms:         40,
+		Papers:              4000,
+		MaxAuthorsPerPaper:  4,
+		MaxTermsPerPaper:    8,
+		CrossCommunityProb:  0.05,
+		ProductivityZipf:    1.1,
+		VenueZipf:           0.9,
+		Planted:             DefaultPlanted(),
+	}
+}
+
+// DefaultPlanted returns the planted-profile configuration used by the
+// case-study experiments.
+func DefaultPlanted() Planted {
+	return Planted{
+		HubName:             "Christos Hub",
+		HubPapers:           40,
+		NormalCoauthors:     30,
+		NormalPapers:        12,
+		CrossFieldCoauthors: 5,
+		CrossFieldPapers:    20,
+		StudentCoauthors:    5,
+		RareVenueExtras:     3,
+		LonerCoauthors:      3,
+		LonerPapers:         10,
+		LonerClique:         4,
+		NullAuthor:          true,
+		NullPapers:          300,
+		NullInMainVenue:     1,
+		MainVenueAnchors:    0,
+	}
+}
+
+// Scaled returns Default scaled by a factor on the background dimensions,
+// used by the efficiency experiments (factor 1 ≈ 4k papers; factor 10 ≈
+// 40k papers, ~26k authors).
+func Scaled(factor int) Config {
+	c := Default()
+	if factor < 1 {
+		factor = 1
+	}
+	c.Communities = 5
+	c.AuthorsPerCommunity *= factor
+	c.TermsPerCommunity *= factor / 2
+	if c.TermsPerCommunity < 150 {
+		c.TermsPerCommunity = 150
+	}
+	c.VenuesPerCommunity += factor / 2
+	c.Papers *= factor
+	return c
+}
+
+// Validate checks the configuration for structural soundness.
+func (c Config) Validate() error {
+	switch {
+	case c.Communities < 1:
+		return fmt.Errorf("gen: need at least one community")
+	case c.AuthorsPerCommunity < 1 || c.VenuesPerCommunity < 1 || c.TermsPerCommunity < 1:
+		return fmt.Errorf("gen: each community needs authors, venues and terms")
+	case c.Papers < 0:
+		return fmt.Errorf("gen: negative paper count")
+	case c.MaxAuthorsPerPaper < 1 || c.MaxTermsPerPaper < 0:
+		return fmt.Errorf("gen: per-paper limits out of range")
+	case c.CrossCommunityProb < 0 || c.CrossCommunityProb > 1:
+		return fmt.Errorf("gen: CrossCommunityProb must be in [0,1]")
+	case c.ProductivityZipf < 0 || c.VenueZipf < 0:
+		return fmt.Errorf("gen: Zipf exponents must be non-negative")
+	}
+	p := c.Planted
+	if !p.Disable {
+		if p.HubName == "" {
+			return fmt.Errorf("gen: planted hub needs a name")
+		}
+		if c.Communities < 2 && p.CrossFieldCoauthors > 0 {
+			return fmt.Errorf("gen: cross-field plants need at least two communities")
+		}
+		if p.NormalCoauthors < 1 {
+			return fmt.Errorf("gen: hub needs at least one normal coauthor")
+		}
+	}
+	return nil
+}

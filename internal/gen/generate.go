@@ -1,0 +1,309 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netout/internal/hin"
+)
+
+// Manifest records the planted structure so that experiments can check
+// whether the detectors recover it.
+type Manifest struct {
+	Hub        string   // the prolific hub author
+	MainVenue  string   // community 0's most popular venue
+	Normals    []string // ordinary coauthors of the hub
+	CrossField []string // established coauthors publishing elsewhere
+	Students   []string // single-paper coauthors in rare venues
+	RareVenues []string // the venues those single papers appeared in
+	Loners     []string // normal venues, disjoint collaboration network
+	Null       string   // the NULL missing-data artifact ("" if disabled)
+
+	Communities int
+	// CommunityVenues[c] lists the venue names of community c.
+	CommunityVenues [][]string
+}
+
+// PlantedOutliers returns every planted venue-outlier author (cross-field
+// plus students), i.e. the ground truth for venue-judged queries.
+func (m *Manifest) PlantedOutliers() []string {
+	out := append([]string(nil), m.CrossField...)
+	return append(out, m.Students...)
+}
+
+// Generate builds a synthetic bibliographic network per the configuration.
+// Generation is deterministic given cfg.Seed.
+func Generate(cfg Config) (*hin.Graph, *Manifest, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	schema := hin.MustSchema("author", "paper", "venue", "term")
+	authorT, _ := schema.TypeByName("author")
+	paperT, _ := schema.TypeByName("paper")
+	venueT, _ := schema.TypeByName("venue")
+	termT, _ := schema.TypeByName("term")
+	schema.AllowLink(paperT, authorT)
+	schema.AllowLink(paperT, venueT)
+	schema.AllowLink(paperT, termT)
+	b := hin.NewBuilder(schema)
+
+	g := &generator{
+		cfg: cfg, r: r, b: b,
+		authorT: authorT, paperT: paperT, venueT: venueT, termT: termT,
+	}
+	g.buildCommunities()
+	g.buildBackgroundPapers()
+	man := &Manifest{
+		Communities:     cfg.Communities,
+		CommunityVenues: g.venueNames,
+	}
+	if !cfg.Planted.Disable {
+		g.plant(man)
+	}
+	if cfg.Communities > 0 && len(g.venueNames[0]) > 0 {
+		man.MainVenue = g.venueNames[0][0]
+	}
+	return b.Build(), man, nil
+}
+
+type generator struct {
+	cfg Config
+	r   *rand.Rand
+	b   *hin.Builder
+
+	authorT, paperT, venueT, termT hin.TypeID
+
+	// Per-community vertex pools.
+	authors    [][]hin.VertexID
+	venues     [][]hin.VertexID
+	terms      [][]hin.VertexID
+	venueNames [][]string
+	shared     []hin.VertexID // shared terms
+
+	authorPick *zipfSampler
+	venuePick  *zipfSampler
+	termPick   *zipfSampler
+
+	paperSeq int
+}
+
+func (g *generator) buildCommunities() {
+	cfg := g.cfg
+	g.authors = make([][]hin.VertexID, cfg.Communities)
+	g.venues = make([][]hin.VertexID, cfg.Communities)
+	g.terms = make([][]hin.VertexID, cfg.Communities)
+	g.venueNames = make([][]string, cfg.Communities)
+	for c := 0; c < cfg.Communities; c++ {
+		for i := 0; i < cfg.AuthorsPerCommunity; i++ {
+			g.authors[c] = append(g.authors[c], g.b.MustAddVertex(g.authorT, fmt.Sprintf("Author %d-%04d", c, i)))
+		}
+		for i := 0; i < cfg.VenuesPerCommunity; i++ {
+			name := fmt.Sprintf("Venue-%d-%d", c, i)
+			g.venues[c] = append(g.venues[c], g.b.MustAddVertex(g.venueT, name))
+			g.venueNames[c] = append(g.venueNames[c], name)
+		}
+		for i := 0; i < cfg.TermsPerCommunity; i++ {
+			g.terms[c] = append(g.terms[c], g.b.MustAddVertex(g.termT, fmt.Sprintf("term-%d-%04d", c, i)))
+		}
+	}
+	for i := 0; i < cfg.SharedTerms; i++ {
+		g.shared = append(g.shared, g.b.MustAddVertex(g.termT, fmt.Sprintf("term-common-%03d", i)))
+	}
+	g.authorPick = newZipfSampler(cfg.AuthorsPerCommunity, cfg.ProductivityZipf)
+	g.venuePick = newZipfSampler(cfg.VenuesPerCommunity, cfg.VenueZipf)
+	g.termPick = newZipfSampler(cfg.TermsPerCommunity, 1.0)
+}
+
+// newPaper creates a paper vertex linked to a venue, authors and terms.
+func (g *generator) newPaper(venue hin.VertexID, authors []hin.VertexID, terms []hin.VertexID) hin.VertexID {
+	g.paperSeq++
+	p := g.b.MustAddVertex(g.paperT, fmt.Sprintf("paper-%06d", g.paperSeq))
+	g.b.MustAddEdge(p, venue)
+	for _, a := range authors {
+		g.b.MustAddEdge(p, a)
+	}
+	for _, t := range terms {
+		g.b.MustAddEdge(p, t)
+	}
+	return p
+}
+
+// communityTerms samples a paper's terms from its community's vocabulary
+// plus occasionally the shared pool.
+func (g *generator) communityTerms(c int) []hin.VertexID {
+	n := 1 + g.r.Intn(g.cfg.MaxTermsPerPaper)
+	var out []hin.VertexID
+	for _, i := range g.termPick.sampleDistinct(g.r, n) {
+		out = append(out, g.terms[c][i])
+	}
+	if len(g.shared) > 0 && g.r.Float64() < 0.5 {
+		out = append(out, g.shared[g.r.Intn(len(g.shared))])
+	}
+	return out
+}
+
+func (g *generator) buildBackgroundPapers() {
+	cfg := g.cfg
+	for i := 0; i < cfg.Papers; i++ {
+		c := g.r.Intn(cfg.Communities)
+		venue := g.venues[c][g.venuePick.sample(g.r)]
+		nAuthors := 1 + g.r.Intn(cfg.MaxAuthorsPerPaper)
+		var authors []hin.VertexID
+		for _, ai := range g.authorPick.sampleDistinct(g.r, nAuthors) {
+			authors = append(authors, g.authors[c][ai])
+		}
+		if cfg.Communities > 1 && g.r.Float64() < cfg.CrossCommunityProb {
+			oc := (c + 1 + g.r.Intn(cfg.Communities-1)) % cfg.Communities
+			authors = append(authors, g.authors[oc][g.authorPick.sample(g.r)])
+		}
+		g.newPaper(venue, authors, g.communityTerms(c))
+	}
+}
+
+// plant attaches the case-study outlier structure to community 0.
+func (g *generator) plant(man *Manifest) {
+	p := g.cfg.Planted
+	r := g.r
+	comm0Venue := func() hin.VertexID { return g.venues[0][g.venuePick.sample(r)] }
+
+	hub := g.b.MustAddVertex(g.authorT, p.HubName)
+	man.Hub = p.HubName
+
+	// Normal coauthor pool, each with their own community-0 publication
+	// record so that the candidate set's "majority behavior" is publishing
+	// in community-0 venues with community-0 collaborators.
+	normals := make([]hin.VertexID, p.NormalCoauthors)
+	for i := range normals {
+		name := fmt.Sprintf("Normal Coauthor %02d", i)
+		normals[i] = g.b.MustAddVertex(g.authorT, name)
+		man.Normals = append(man.Normals, name)
+	}
+	for _, a := range normals {
+		for k := 0; k < p.NormalPapers; k++ {
+			coauthors := []hin.VertexID{a}
+			// Collaborate within the pool and the broader community.
+			if r.Float64() < 0.6 {
+				coauthors = append(coauthors, normals[r.Intn(len(normals))])
+			}
+			coauthors = append(coauthors, g.authors[0][g.authorPick.sample(r)])
+			g.newPaper(comm0Venue(), dedupVertices(coauthors), g.communityTerms(0))
+		}
+	}
+
+	// The hub's own papers, coauthored with 2-3 normals each.
+	for k := 0; k < p.HubPapers; k++ {
+		coauthors := []hin.VertexID{hub}
+		for _, i := range pickDistinct(r, len(normals), 2+r.Intn(2)) {
+			coauthors = append(coauthors, normals[i])
+		}
+		g.newPaper(comm0Venue(), coauthors, g.communityTerms(0))
+	}
+
+	// Cross-field coauthors: one or two papers with the hub, the bulk of
+	// their record in a foreign community.
+	for i := 0; i < p.CrossFieldCoauthors; i++ {
+		name := fmt.Sprintf("CrossField Author %02d", i)
+		man.CrossField = append(man.CrossField, name)
+		a := g.b.MustAddVertex(g.authorT, name)
+		foreign := 1 + i%(g.cfg.Communities-1)
+		// Papers with the hub, in community-0 venues.
+		for k := 0; k < 1+r.Intn(2); k++ {
+			g.newPaper(comm0Venue(), []hin.VertexID{a, hub}, g.communityTerms(0))
+		}
+		// The main record: foreign-community venues and collaborators.
+		for k := 0; k < p.CrossFieldPapers; k++ {
+			venue := g.venues[foreign][g.venuePick.sample(r)]
+			coauthors := []hin.VertexID{a, g.authors[foreign][g.authorPick.sample(r)]}
+			g.newPaper(venue, coauthors, g.communityTerms(foreign))
+		}
+	}
+
+	// Student coauthors: exactly one paper, with the hub, in a rare venue.
+	// Each rare venue also receives a few singleton papers from normal
+	// coauthors so it is uncommon rather than exclusive.
+	for i := 0; i < p.StudentCoauthors; i++ {
+		name := fmt.Sprintf("Student Coauthor %02d", i)
+		man.Students = append(man.Students, name)
+		a := g.b.MustAddVertex(g.authorT, name)
+		rareName := fmt.Sprintf("RareVenue-%02d", i)
+		rare := g.b.MustAddVertex(g.venueT, rareName)
+		man.RareVenues = append(man.RareVenues, rareName)
+		g.newPaper(rare, []hin.VertexID{a, hub}, g.communityTerms(0))
+		for _, ni := range pickDistinct(r, len(normals), p.RareVenueExtras) {
+			g.newPaper(rare, []hin.VertexID{normals[ni]}, g.communityTerms(0))
+		}
+	}
+
+	// Loners: community-0 venues (normal under A.P.V) but a private
+	// collaboration clique (outlying under A.P.A).
+	for i := 0; i < p.LonerCoauthors; i++ {
+		name := fmt.Sprintf("Loner Author %02d", i)
+		man.Loners = append(man.Loners, name)
+		a := g.b.MustAddVertex(g.authorT, name)
+		clique := make([]hin.VertexID, p.LonerClique)
+		for j := range clique {
+			clique[j] = g.b.MustAddVertex(g.authorT, fmt.Sprintf("Loner %02d Clique %02d", i, j))
+		}
+		// One paper with the hub to enter the coauthor candidate set.
+		g.newPaper(comm0Venue(), []hin.VertexID{a, hub}, g.communityTerms(0))
+		for k := 0; k < p.LonerPapers; k++ {
+			coauthors := []hin.VertexID{a}
+			for _, j := range pickDistinct(r, len(clique), 1+r.Intn(2)) {
+				coauthors = append(coauthors, clique[j])
+			}
+			g.newPaper(comm0Venue(), coauthors, g.communityTerms(0))
+		}
+	}
+
+	// NULL: the missing-data artifact of the Table 5 case study — an
+	// "author" that accumulated a large pile of papers in junk venues
+	// nobody else publishes in, plus a couple in community 0's main venue
+	// so it joins that venue's author set. High visibility with almost no
+	// venue overlap gives it the lowest NetOut score in the main venue's
+	// author set, exactly as NULL tops the paper's third case-study query.
+	if p.NullAuthor {
+		man.Null = "NULL"
+		null := g.b.MustAddVertex(g.authorT, "NULL")
+		mainVenue := g.venues[0][0]
+		for k := 0; k < p.NullInMainVenue; k++ {
+			g.newPaper(mainVenue, []hin.VertexID{null}, g.communityTerms(0))
+		}
+		junkVenues := make([]hin.VertexID, 3)
+		for j := range junkVenues {
+			junkVenues[j] = g.b.MustAddVertex(g.venueT, fmt.Sprintf("MissingVenue-%02d", j))
+		}
+		for k := 0; k < p.NullPapers; k++ {
+			c := g.r.Intn(g.cfg.Communities)
+			g.newPaper(junkVenues[k%len(junkVenues)], []hin.VertexID{null}, g.communityTerms(c))
+		}
+		// Anchor extra normal-coauthor papers in the main venue so its
+		// author set has a clear majority profile.
+		for k := 0; k < p.MainVenueAnchors; k++ {
+			a := normals[r.Intn(len(normals))]
+			g.newPaper(mainVenue, []hin.VertexID{a}, g.communityTerms(0))
+		}
+	}
+}
+
+func dedupVertices(vs []hin.VertexID) []hin.VertexID {
+	seen := make(map[hin.VertexID]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// pickDistinct samples k distinct ints from [0,n) uniformly.
+func pickDistinct(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	out := r.Perm(n)[:k]
+	return out
+}

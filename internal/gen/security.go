@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netout/internal/hin"
+)
+
+// The security generator builds the cyber-operations network the paper's
+// funding context motivates (ARL; cf. the authors' companion work on alert
+// mining): hosts grouped into subnets raise alerts that carry detection
+// signatures. Ordinary hosts raise their subnet's routine signatures; the
+// planted compromised hosts mix routine noise with signatures native to a
+// different subnet plus exfiltration markers — outliers under the query
+// "hosts judged by the signatures of their alerts".
+
+// SecurityConfig controls the security-domain generator.
+type SecurityConfig struct {
+	Seed             int64
+	Subnets          int
+	HostsPerSubnet   int
+	SigsPerSubnet    int // routine signature pool per subnet
+	AlertsPerHost    int // mean alerts per ordinary host
+	Compromised      int // planted compromised hosts (in subnet 0)
+	CompromisedNoise int // routine alerts each compromised host still raises
+	CompromisedBad   int // foreign + exfil alerts per compromised host
+}
+
+// DefaultSecurityConfig returns a small but non-trivial configuration.
+func DefaultSecurityConfig() SecurityConfig {
+	return SecurityConfig{
+		Seed:             1,
+		Subnets:          3,
+		HostsPerSubnet:   30,
+		SigsPerSubnet:    8,
+		AlertsPerHost:    20,
+		Compromised:      2,
+		CompromisedNoise: 10,
+		CompromisedBad:   15,
+	}
+}
+
+// SecurityManifest records the planted ground truth.
+type SecurityManifest struct {
+	Subnets     []string
+	Compromised []string // planted compromised host names (in Subnets[0])
+	ExfilSig    string
+}
+
+// Validate checks the configuration.
+func (c SecurityConfig) Validate() error {
+	switch {
+	case c.Subnets < 2:
+		return fmt.Errorf("gen: security network needs at least two subnets")
+	case c.HostsPerSubnet < 1 || c.SigsPerSubnet < 1:
+		return fmt.Errorf("gen: each subnet needs hosts and signatures")
+	case c.AlertsPerHost < 1:
+		return fmt.Errorf("gen: hosts need alerts")
+	case c.Compromised < 0 || c.CompromisedBad < 0 || c.CompromisedNoise < 0:
+		return fmt.Errorf("gen: negative plant counts")
+	}
+	return nil
+}
+
+// GenerateSecurity builds a security-operations network with the schema
+// host / alert / signature / subnet: alerts link to the host that raised
+// them and the signature that fired; hosts link to their subnet.
+func GenerateSecurity(cfg SecurityConfig) (*hin.Graph, *SecurityManifest, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	schema := hin.MustSchema("host", "alert", "signature", "subnet")
+	hostT, _ := schema.TypeByName("host")
+	alertT, _ := schema.TypeByName("alert")
+	sigT, _ := schema.TypeByName("signature")
+	subnetT, _ := schema.TypeByName("subnet")
+	schema.AllowLink(alertT, hostT)
+	schema.AllowLink(alertT, sigT)
+	schema.AllowLink(hostT, subnetT)
+	b := hin.NewBuilder(schema)
+
+	man := &SecurityManifest{}
+	subnets := make([]hin.VertexID, cfg.Subnets)
+	sigs := make([][]hin.VertexID, cfg.Subnets)
+	sigPick := newZipfSampler(cfg.SigsPerSubnet, 0.8)
+	for s := 0; s < cfg.Subnets; s++ {
+		name := fmt.Sprintf("subnet-%02d", s)
+		man.Subnets = append(man.Subnets, name)
+		subnets[s] = b.MustAddVertex(subnetT, name)
+		for k := 0; k < cfg.SigsPerSubnet; k++ {
+			sigs[s] = append(sigs[s], b.MustAddVertex(sigT, fmt.Sprintf("SIG-%02d-%02d", s, k)))
+		}
+	}
+	exfil := b.MustAddVertex(sigT, "SIG-EXFIL")
+	man.ExfilSig = "SIG-EXFIL"
+
+	alertSeq := 0
+	raise := func(h hin.VertexID, sig hin.VertexID) {
+		alertSeq++
+		a := b.MustAddVertex(alertT, fmt.Sprintf("alert-%06d", alertSeq))
+		b.MustAddEdge(a, h)
+		b.MustAddEdge(a, sig)
+	}
+
+	for s := 0; s < cfg.Subnets; s++ {
+		for i := 0; i < cfg.HostsPerSubnet; i++ {
+			h := b.MustAddVertex(hostT, fmt.Sprintf("host-%02d-%03d", s, i))
+			b.MustAddEdge(h, subnets[s])
+			n := cfg.AlertsPerHost/2 + r.Intn(cfg.AlertsPerHost)
+			for k := 0; k < n; k++ {
+				raise(h, sigs[s][sigPick.sample(r)])
+			}
+		}
+	}
+
+	// Planted compromised hosts in subnet 0: routine noise plus signatures
+	// from a foreign subnet and exfiltration markers.
+	for i := 0; i < cfg.Compromised; i++ {
+		name := fmt.Sprintf("host-00-compromised-%02d", i)
+		man.Compromised = append(man.Compromised, name)
+		h := b.MustAddVertex(hostT, name)
+		b.MustAddEdge(h, subnets[0])
+		for k := 0; k < cfg.CompromisedNoise; k++ {
+			raise(h, sigs[0][sigPick.sample(r)])
+		}
+		foreign := 1 + i%(cfg.Subnets-1)
+		for k := 0; k < cfg.CompromisedBad; k++ {
+			if k%3 == 0 {
+				raise(h, exfil)
+			} else {
+				raise(h, sigs[foreign][sigPick.sample(r)])
+			}
+		}
+	}
+	return b.Build(), man, nil
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"netout/internal/core"
+)
+
+func TestGenerateSecurityBasics(t *testing.T) {
+	cfg := DefaultSecurityConfig()
+	g, man, err := GenerateSecurity(cfg)
+	if err != nil {
+		t.Fatalf("GenerateSecurity: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	s := g.Schema()
+	hostT, _ := s.TypeByName("host")
+	subnetT, _ := s.TypeByName("subnet")
+	sigT, _ := s.TypeByName("signature")
+	if g.NumVerticesOfType(subnetT) != cfg.Subnets {
+		t.Fatalf("subnets = %d", g.NumVerticesOfType(subnetT))
+	}
+	wantHosts := cfg.Subnets*cfg.HostsPerSubnet + cfg.Compromised
+	if g.NumVerticesOfType(hostT) != wantHosts {
+		t.Fatalf("hosts = %d, want %d", g.NumVerticesOfType(hostT), wantHosts)
+	}
+	if g.NumVerticesOfType(sigT) != cfg.Subnets*cfg.SigsPerSubnet+1 {
+		t.Fatalf("signatures = %d", g.NumVerticesOfType(sigT))
+	}
+	if len(man.Compromised) != cfg.Compromised || man.ExfilSig == "" {
+		t.Fatalf("manifest = %+v", man)
+	}
+	for _, name := range man.Compromised {
+		if _, ok := g.VertexByName(hostT, name); !ok {
+			t.Errorf("compromised host %q missing", name)
+		}
+	}
+}
+
+func TestGenerateSecurityDeterministic(t *testing.T) {
+	cfg := DefaultSecurityConfig()
+	g1, _, _ := GenerateSecurity(cfg)
+	g2, _, _ := GenerateSecurity(cfg)
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed differs")
+	}
+	cfg.Seed = 99
+	g3, _, _ := GenerateSecurity(cfg)
+	if g3.NumEdges() == g1.NumEdges() {
+		t.Error("different seeds produced identical edge counts (suspicious)")
+	}
+}
+
+func TestGenerateSecurityConfigValidation(t *testing.T) {
+	bad := []func(*SecurityConfig){
+		func(c *SecurityConfig) { c.Subnets = 1 },
+		func(c *SecurityConfig) { c.HostsPerSubnet = 0 },
+		func(c *SecurityConfig) { c.SigsPerSubnet = 0 },
+		func(c *SecurityConfig) { c.AlertsPerHost = 0 },
+		func(c *SecurityConfig) { c.Compromised = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSecurityConfig()
+		mutate(&cfg)
+		if _, _, err := GenerateSecurity(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// The headline security query: among subnet-0 hosts judged by alert
+// signatures, the planted compromised hosts must rank on top.
+func TestSecurityQueryFindsCompromisedHosts(t *testing.T) {
+	g, man, err := GenerateSecurity(DefaultSecurityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(g)
+	res, err := eng.Execute(fmt.Sprintf(`FIND OUTLIERS
+FROM subnet{%q}.host
+JUDGED BY host.alert.signature
+TOP %d;`, man.Subnets[0], len(man.Compromised)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := map[string]bool{}
+	for _, n := range man.Compromised {
+		planted[n] = true
+	}
+	for i, e := range res.Entries {
+		if !planted[e.Name] {
+			t.Errorf("rank %d is %q, expected a compromised host", i+1, e.Name)
+		}
+	}
+	// Cross-subnet reference: against the foreign subnet's hosts, the
+	// compromised host is the LEAST outlying subnet-0 host (its alerts are
+	// the ones that look like that subnet).
+	res2, err := eng.Execute(fmt.Sprintf(`FIND OUTLIERS
+FROM subnet{%q}.host
+COMPARED TO subnet{%q}.host
+JUDGED BY host.alert.signature;`, man.Subnets[0], man.Subnets[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res2.Entries[len(res2.Entries)-1]
+	if !planted[last.Name] {
+		t.Errorf("least outlying vs foreign subnet = %q, expected a compromised host", last.Name)
+	}
+}

@@ -1,0 +1,124 @@
+package hin
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDegreeDistribution(t *testing.T) {
+	g, s := figure1Graph(t)
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	v, _ := s.TypeByName("venue")
+
+	d := g.DegreeDistribution(a, p)
+	// Ava: 2, Liam: 3, Zoe: 5.
+	if d.Count != 3 || d.Min != 2 || d.Max != 5 || d.Median != 3 {
+		t.Fatalf("author->paper = %+v", d)
+	}
+	if math.Abs(d.Mean-10.0/3.0) > 1e-12 {
+		t.Fatalf("mean = %g", d.Mean)
+	}
+	if d.ZeroShare != 0 {
+		t.Fatalf("zero share = %g", d.ZeroShare)
+	}
+	if d.GiniLike < 0 || d.GiniLike > 1 {
+		t.Fatalf("gini = %g", d.GiniLike)
+	}
+
+	// Papers have at most one venue; p6 has one, p1..p5 have one; so no
+	// zeros. Venue->author is disallowed but still summarizable: all zero.
+	dz := g.DegreeDistribution(v, a)
+	if dz.ZeroShare != 1 || dz.Max != 0 {
+		t.Fatalf("venue->author = %+v", dz)
+	}
+	if dz.GiniLike != 0 {
+		t.Fatalf("all-zero gini = %g", dz.GiniLike)
+	}
+}
+
+func TestDegreeDistributionUniformVsSkewed(t *testing.T) {
+	s := MustSchema("a", "b")
+	ta, _ := s.TypeByName("a")
+	tb, _ := s.TypeByName("b")
+	s.AllowLink(ta, tb)
+
+	// Uniform: every a vertex has exactly 2 b-neighbors.
+	bld := NewBuilder(s)
+	var bs []VertexID
+	for i := 0; i < 4; i++ {
+		bs = append(bs, bld.MustAddVertex(tb, string(rune('w'+i))))
+	}
+	for i := 0; i < 6; i++ {
+		av := bld.MustAddVertex(ta, string(rune('A'+i)))
+		bld.MustAddEdge(av, bs[i%4])
+		bld.MustAddEdge(av, bs[(i+1)%4])
+	}
+	uniform := bld.Build().DegreeDistribution(ta, tb)
+	if uniform.GiniLike > 0.05 {
+		t.Fatalf("uniform gini = %g", uniform.GiniLike)
+	}
+
+	// Skewed: one hub with many neighbors, the rest with one.
+	bld2 := NewBuilder(s)
+	var bs2 []VertexID
+	for i := 0; i < 12; i++ {
+		bs2 = append(bs2, bld2.MustAddVertex(tb, string(rune('a'+i))))
+	}
+	hub := bld2.MustAddVertex(ta, "hub")
+	for _, bv := range bs2 {
+		bld2.MustAddEdge(hub, bv)
+	}
+	for i := 0; i < 5; i++ {
+		av := bld2.MustAddVertex(ta, string(rune('A'+i)))
+		bld2.MustAddEdge(av, bs2[i])
+	}
+	skewed := bld2.Build().DegreeDistribution(ta, tb)
+	if skewed.GiniLike <= uniform.GiniLike+0.2 {
+		t.Fatalf("skewed gini %g should exceed uniform %g", skewed.GiniLike, uniform.GiniLike)
+	}
+	if skewed.P99 != 12 || skewed.Median != 1 {
+		t.Fatalf("skewed = %+v", skewed)
+	}
+}
+
+func TestDegreeDistributionEmptyType(t *testing.T) {
+	s := MustSchema("a", "b")
+	ta, _ := s.TypeByName("a")
+	tb, _ := s.TypeByName("b")
+	s.AllowLink(ta, tb)
+	g := NewBuilder(s).Build()
+	d := g.DegreeDistribution(ta, tb)
+	if d.Count != 0 || d.Min != 0 || d.Max != 0 {
+		t.Fatalf("empty = %+v", d)
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	g, _ := figure1Graph(t)
+	rep := g.StatsReport()
+	for _, want := range []string{"network:", "author->paper", "paper->venue", "gini="} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "author->venue") {
+		t.Error("report should not include disallowed links")
+	}
+}
+
+func TestPercentileIndex(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{10, 0.9, 8}, {10, 0.99, 9}, {1, 0.5, 0}, {4, 0.0, 0}, {4, 1.0, 3},
+	}
+	for _, c := range cases {
+		if got := percentileIndex(c.n, c.p); got != c.want {
+			t.Errorf("percentileIndex(%d, %g) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package hin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InducedSubgraph builds the subgraph induced by the given vertices: the
+// new graph keeps their types, names and every edge whose both endpoints
+// are in the set (with multiplicities). The returned mapping translates
+// original vertex IDs to subgraph IDs (absent vertices map to
+// InvalidVertex). Duplicate input vertices are deduplicated.
+//
+// Ego networks extracted this way let quadratic algorithms (e.g. SimRank)
+// run on the neighborhood of a query instead of the whole network.
+func InducedSubgraph(g *Graph, vertices []VertexID) (*Graph, map[VertexID]VertexID, error) {
+	sorted := append([]VertexID(nil), vertices...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	b := NewBuilder(g.Schema().Clone())
+	mapping := make(map[VertexID]VertexID, len(sorted))
+	for i, v := range sorted {
+		if i > 0 && sorted[i-1] == v {
+			continue
+		}
+		if !g.Valid(v) {
+			return nil, nil, fmt.Errorf("hin: subgraph vertex %d out of range", v)
+		}
+		nv, err := b.AddVertex(g.Type(v), g.Name(v))
+		if err != nil {
+			return nil, nil, err
+		}
+		mapping[v] = nv
+	}
+	nt := g.Schema().NumTypes()
+	for v, nv := range mapping {
+		for t := 0; t < nt; t++ {
+			nbrs, mults := g.Neighbors(v, TypeID(t))
+			for i, u := range nbrs {
+				nu, ok := mapping[u]
+				if !ok || u < v { // add each undirected edge once (self loops at u==v)
+					continue
+				}
+				if err := b.AddEdgeMult(nv, nu, mults[i]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), mapping, nil
+}
+
+// EgoNetwork returns the vertices within `hops` undirected hops of the
+// seeds (including the seeds), in ascending ID order.
+func EgoNetwork(g *Graph, seeds []VertexID, hops int) ([]VertexID, error) {
+	seen := make(map[VertexID]bool, len(seeds))
+	frontier := make([]VertexID, 0, len(seeds))
+	for _, v := range seeds {
+		if !g.Valid(v) {
+			return nil, fmt.Errorf("hin: ego seed %d out of range", v)
+		}
+		if !seen[v] {
+			seen[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	nt := g.Schema().NumTypes()
+	for h := 0; h < hops; h++ {
+		var next []VertexID
+		for _, v := range frontier {
+			for t := 0; t < nt; t++ {
+				nbrs, _ := g.Neighbors(v, TypeID(t))
+				for _, u := range nbrs {
+					if !seen[u] {
+						seen[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]VertexID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package hin
+
+import (
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g, s := figure1Graph(t)
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	zoe, _ := g.VertexByName(a, "Zoe")
+	liam, _ := g.VertexByName(a, "Liam")
+	papers, _ := g.Neighbors(zoe, p)
+
+	keep := append([]VertexID{zoe, liam, zoe}, papers...) // duplicate zoe on purpose
+	sub, mapping, err := InducedSubgraph(g, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subgraph invalid: %v", err)
+	}
+	if sub.NumVertices() != 2+len(papers) {
+		t.Fatalf("subgraph has %d vertices, want %d", sub.NumVertices(), 2+len(papers))
+	}
+	nz, ok := mapping[zoe]
+	if !ok {
+		t.Fatal("zoe missing from mapping")
+	}
+	if sub.Name(nz) != "Zoe" || sub.Type(nz) != a {
+		t.Fatal("zoe metadata lost")
+	}
+	// Zoe keeps all 5 paper edges; Liam keeps only the 2 papers he shares
+	// with Zoe (p6 was not included).
+	if d := sub.Degree(nz, p); d != 5 {
+		t.Fatalf("sub Zoe degree = %d", d)
+	}
+	nl := mapping[liam]
+	if d := sub.Degree(nl, p); d != 2 {
+		t.Fatalf("sub Liam degree = %d", d)
+	}
+	// Venue edges vanished (no venue vertices kept).
+	v, _ := s.TypeByName("venue")
+	if sub.NumVerticesOfType(v) != 0 {
+		t.Fatal("venues should be absent")
+	}
+	if _, _, err := InducedSubgraph(g, []VertexID{999}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestInducedSubgraphKeepsMultiplicities(t *testing.T) {
+	s := MustSchema("n")
+	n, _ := s.TypeByName("n")
+	s.AllowLink(n, n)
+	b := NewBuilder(s)
+	x := b.MustAddVertex(n, "x")
+	y := b.MustAddVertex(n, "y")
+	if err := b.AddEdgeMult(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.MustAddEdge(x, x)
+	g := b.Build()
+	sub, mapping, err := InducedSubgraph(g, []VertexID{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sub.EdgeMultiplicity(mapping[x], mapping[y]); m != 3 {
+		t.Fatalf("multiplicity = %d", m)
+	}
+	if m := sub.EdgeMultiplicity(mapping[x], mapping[x]); m != 1 {
+		t.Fatalf("self loop multiplicity = %d", m)
+	}
+}
+
+func TestEgoNetwork(t *testing.T) {
+	g, s := figure1Graph(t)
+	a, _ := s.TypeByName("author")
+	zoe, _ := g.VertexByName(a, "Zoe")
+
+	// 0 hops: just the seed.
+	ego0, err := EgoNetwork(g, []VertexID{zoe}, 0)
+	if err != nil || len(ego0) != 1 {
+		t.Fatalf("ego0 = %v, %v", ego0, err)
+	}
+	// 1 hop: Zoe + her 5 papers.
+	ego1, _ := EgoNetwork(g, []VertexID{zoe}, 1)
+	if len(ego1) != 6 {
+		t.Fatalf("ego1 = %d vertices", len(ego1))
+	}
+	// 2 hops: + coauthors and venues of those papers.
+	ego2, _ := EgoNetwork(g, []VertexID{zoe}, 2)
+	if len(ego2) <= len(ego1) {
+		t.Fatalf("ego2 = %d vertices", len(ego2))
+	}
+	for i := 1; i < len(ego2); i++ {
+		if ego2[i-1] >= ego2[i] {
+			t.Fatal("ego network not sorted")
+		}
+	}
+	// Large hop count saturates at the connected component.
+	egoAll, _ := EgoNetwork(g, []VertexID{zoe}, 99)
+	// Everything except the isolated-from-Zoe part: the Figure 1 graph is
+	// fully connected through papers, so all 11 vertices appear.
+	if len(egoAll) != g.NumVertices() {
+		t.Fatalf("saturated ego = %d of %d", len(egoAll), g.NumVertices())
+	}
+	if _, err := EgoNetwork(g, []VertexID{999}, 1); err == nil {
+		t.Error("bad seed accepted")
+	}
+	// Dedup of duplicate seeds.
+	egoDup, _ := EgoNetwork(g, []VertexID{zoe, zoe}, 0)
+	if len(egoDup) != 1 {
+		t.Fatalf("duplicate seeds = %v", egoDup)
+	}
+}
+
+// Subgraph of an ego network supports downstream algorithms end-to-end.
+func TestEgoSubgraphPipeline(t *testing.T) {
+	g, s := figure1Graph(t)
+	a, _ := s.TypeByName("author")
+	zoe, _ := g.VertexByName(a, "Zoe")
+	ego, err := EgoNetwork(g, []VertexID{zoe}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := InducedSubgraph(g, ego)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mapping[zoe]; !ok {
+		t.Fatal("seed missing from subgraph")
+	}
+}

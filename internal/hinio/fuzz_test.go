@@ -1,0 +1,43 @@
+package hinio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV ensures the TSV loader never panics and that everything it
+// accepts is a valid graph that round-trips.
+func FuzzReadTSV(f *testing.F) {
+	seeds := []string{
+		"",
+		tsvHeader + "\n",
+		tsvHeader + "\nT\tauthor\nT\tpaper\nL\t0\t1\nL\t1\t0\nV\t0\tAda\nV\t1\tp1\nE\t0\t1\t2\n",
+		tsvHeader + "\nT\ta\nL\t0\t0\nV\t0\tx\\ty\nE\t0\t0\t1\n",
+		tsvHeader + "\nX\tjunk\n",
+		"#netout-hin v999\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadTSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, src)
+		}
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, g); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		g2, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip unparsable: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package hinio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"netout/internal/hin"
+)
+
+// jsonGraph is the JSON interchange shape.
+type jsonGraph struct {
+	Types    []string    `json:"types"`
+	Links    [][2]string `json:"links"` // allowed links by type name (one direction per entry)
+	Vertices []jsonVert  `json:"vertices"`
+	Edges    [][3]int64  `json:"edges"` // [src, dst, mult], each undirected edge once
+}
+
+type jsonVert struct {
+	Type string `json:"type"`
+	Name string `json:"name"`
+}
+
+// WriteJSON writes g to w as JSON.
+func WriteJSON(w io.Writer, g *hin.Graph) error {
+	s := g.Schema()
+	jg := jsonGraph{Types: s.TypeNames()}
+	for src := 0; src < s.NumTypes(); src++ {
+		for dst := 0; dst < s.NumTypes(); dst++ {
+			if s.EdgeAllowed(hin.TypeID(src), hin.TypeID(dst)) {
+				jg.Links = append(jg.Links, [2]string{s.TypeName(hin.TypeID(src)), s.TypeName(hin.TypeID(dst))})
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := hin.VertexID(v)
+		jg.Vertices = append(jg.Vertices, jsonVert{Type: s.TypeName(g.Type(vid)), Name: g.Name(vid)})
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := hin.VertexID(v)
+		for t := 0; t < s.NumTypes(); t++ {
+			nbrs, mults := g.Neighbors(vid, hin.TypeID(t))
+			for i, u := range nbrs {
+				if vid <= u {
+					jg.Edges = append(jg.Edges, [3]int64{int64(vid), int64(u), int64(mults[i])})
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jg)
+}
+
+// ReadJSON reads a graph from JSON.
+func ReadJSON(r io.Reader) (*hin.Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("hinio: %w", err)
+	}
+	schema, err := hin.NewSchema(jg.Types...)
+	if err != nil {
+		return nil, fmt.Errorf("hinio: %w", err)
+	}
+	for _, l := range jg.Links {
+		src, ok1 := schema.TypeByName(l[0])
+		dst, ok2 := schema.TypeByName(l[1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("hinio: link %v references unknown type", l)
+		}
+		schema.AllowEdge(src, dst)
+	}
+	b := hin.NewBuilder(schema)
+	ids := make([]hin.VertexID, len(jg.Vertices))
+	for i, jv := range jg.Vertices {
+		t, ok := schema.TypeByName(jv.Type)
+		if !ok {
+			return nil, fmt.Errorf("hinio: vertex %d has unknown type %q", i, jv.Type)
+		}
+		v, err := b.AddVertex(t, jv.Name)
+		if err != nil {
+			return nil, fmt.Errorf("hinio: vertex %d: %w", i, err)
+		}
+		if int(v) != i {
+			return nil, fmt.Errorf("hinio: duplicate vertex name %q within type %s", jv.Name, jv.Type)
+		}
+		ids[i] = v
+	}
+	for _, e := range jg.Edges {
+		if e[0] < 0 || e[0] >= int64(len(ids)) || e[1] < 0 || e[1] >= int64(len(ids)) {
+			return nil, fmt.Errorf("hinio: edge %v out of range", e)
+		}
+		if e[2] < 1 {
+			return nil, fmt.Errorf("hinio: edge %v has non-positive multiplicity", e)
+		}
+		if err := b.AddEdgeMult(ids[e[0]], ids[e[1]], int32(e[2])); err != nil {
+			return nil, fmt.Errorf("hinio: %w", err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// SaveJSON writes g to a file as JSON.
+func SaveJSON(path string, g *hin.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSON reads a graph from a JSON file.
+func LoadJSON(path string) (*hin.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// Load reads a graph from a file, dispatching on the extension:
+// ".json" uses the JSON format, everything else the TSV format.
+func Load(path string) (*hin.Graph, error) {
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		return LoadJSON(path)
+	}
+	return LoadTSV(path)
+}
+
+// Save writes a graph to a file, dispatching on the extension like Load.
+func Save(path string, g *hin.Graph) error {
+	if len(path) > 5 && path[len(path)-5:] == ".json" {
+		return SaveJSON(path, g)
+	}
+	return SaveTSV(path, g)
+}

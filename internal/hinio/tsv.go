@@ -1,0 +1,254 @@
+// Package hinio serializes heterogeneous information networks. Two formats
+// are provided: a line-oriented TSV format suitable for large networks and
+// streaming, and a JSON format convenient for interchange and debugging.
+// Both round-trip exactly (schema, vertex names, edge multiplicities).
+package hinio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"netout/internal/hin"
+)
+
+// The TSV format is line oriented:
+//
+//	#netout-hin v1
+//	T <typeName>                  // one per vertex type, in order
+//	L <srcType> <dstType>         // allowed link (stored one direction per line)
+//	V <typeID> <escapedName>      // one per vertex, in vertex-ID order
+//	E <srcID> <dstID> <mult>      // undirected edge, written once (src <= dst)
+//
+// Names are escaped: backslash, tab and newline become \\, \t, \n.
+
+const tsvHeader = "#netout-hin v1"
+
+// WriteTSV writes g to w in the TSV format.
+func WriteTSV(w io.Writer, g *hin.Graph) error {
+	bw := bufio.NewWriter(w)
+	s := g.Schema()
+	fmt.Fprintln(bw, tsvHeader)
+	for _, name := range s.TypeNames() {
+		fmt.Fprintf(bw, "T\t%s\n", escape(name))
+	}
+	for src := 0; src < s.NumTypes(); src++ {
+		for dst := 0; dst < s.NumTypes(); dst++ {
+			if s.EdgeAllowed(hin.TypeID(src), hin.TypeID(dst)) {
+				fmt.Fprintf(bw, "L\t%d\t%d\n", src, dst)
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintf(bw, "V\t%d\t%s\n", g.Type(hin.VertexID(v)), escape(g.Name(hin.VertexID(v))))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := hin.VertexID(v)
+		for t := 0; t < s.NumTypes(); t++ {
+			nbrs, mults := g.Neighbors(vid, hin.TypeID(t))
+			for i, u := range nbrs {
+				if vid <= u { // write each undirected edge once
+					fmt.Fprintf(bw, "E\t%d\t%d\t%d\n", vid, u, mults[i])
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV reads a graph in the TSV format.
+func ReadTSV(r io.Reader) (*hin.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	nextLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if line == "" || strings.HasPrefix(line, "#") && lineNo > 1 {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("hinio: empty input")
+	}
+	lineNo++
+	if strings.TrimSpace(sc.Text()) != tsvHeader {
+		return nil, fmt.Errorf("hinio: bad header %q (want %q)", sc.Text(), tsvHeader)
+	}
+
+	var typeNames []string
+	type link struct{ src, dst int }
+	var links []link
+	type vertexRec struct {
+		t    int
+		name string
+	}
+	var vertices []vertexRec
+	type edgeRec struct {
+		src, dst int
+		mult     int
+	}
+	var edges []edgeRec
+
+	for {
+		line, ok := nextLine()
+		if !ok {
+			break
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "T":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("hinio: line %d: T wants 1 field", lineNo)
+			}
+			typeNames = append(typeNames, unescape(fields[1]))
+		case "L":
+			src, dst, err := twoInts(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("hinio: line %d: %v", lineNo, err)
+			}
+			links = append(links, link{src, dst})
+		case "V":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("hinio: line %d: V wants 2 fields", lineNo)
+			}
+			t, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("hinio: line %d: bad type id %q", lineNo, fields[1])
+			}
+			vertices = append(vertices, vertexRec{t, unescape(fields[2])})
+		case "E":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("hinio: line %d: E wants 3 fields", lineNo)
+			}
+			src, dst, err := twoInts(fields[1:3])
+			if err != nil {
+				return nil, fmt.Errorf("hinio: line %d: %v", lineNo, err)
+			}
+			mult, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("hinio: line %d: bad multiplicity %q", lineNo, fields[3])
+			}
+			edges = append(edges, edgeRec{src, dst, mult})
+		default:
+			return nil, fmt.Errorf("hinio: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hinio: %w", err)
+	}
+
+	schema, err := hin.NewSchema(typeNames...)
+	if err != nil {
+		return nil, fmt.Errorf("hinio: %w", err)
+	}
+	for _, l := range links {
+		if l.src < 0 || l.src >= len(typeNames) || l.dst < 0 || l.dst >= len(typeNames) {
+			return nil, fmt.Errorf("hinio: link %d-%d out of range", l.src, l.dst)
+		}
+		schema.AllowEdge(hin.TypeID(l.src), hin.TypeID(l.dst))
+	}
+	b := hin.NewBuilder(schema)
+	ids := make([]hin.VertexID, len(vertices))
+	for i, vr := range vertices {
+		if vr.t < 0 || vr.t >= len(typeNames) {
+			return nil, fmt.Errorf("hinio: vertex %d has type %d out of range", i, vr.t)
+		}
+		v, err := b.AddVertex(hin.TypeID(vr.t), vr.name)
+		if err != nil {
+			return nil, fmt.Errorf("hinio: vertex %d: %w", i, err)
+		}
+		if int(v) != i {
+			return nil, fmt.Errorf("hinio: duplicate vertex name %q within type %s", vr.name, typeNames[vr.t])
+		}
+		ids[i] = v
+	}
+	for _, e := range edges {
+		if e.src < 0 || e.src >= len(ids) || e.dst < 0 || e.dst >= len(ids) {
+			return nil, fmt.Errorf("hinio: edge %d-%d out of range", e.src, e.dst)
+		}
+		if e.mult < 1 {
+			return nil, fmt.Errorf("hinio: edge %d-%d has multiplicity %d", e.src, e.dst, e.mult)
+		}
+		if err := b.AddEdgeMult(ids[e.src], ids[e.dst], int32(e.mult)); err != nil {
+			return nil, fmt.Errorf("hinio: %w", err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// SaveTSV writes g to a file.
+func SaveTSV(path string, g *hin.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTSV(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTSV reads a graph from a file.
+func LoadTSV(path string) (*hin.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}
+
+func twoInts(fields []string) (int, int, error) {
+	if len(fields) < 2 {
+		return 0, 0, fmt.Errorf("want 2 integers")
+	}
+	a, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad integer %q", fields[0])
+	}
+	b, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad integer %q", fields[1])
+	}
+	return a, b, nil
+}
+
+var escaper = strings.NewReplacer("\\", `\\`, "\t", `\t`, "\n", `\n`)
+
+func escape(s string) string { return escaper.Replace(s) }
+
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 't':
+			sb.WriteByte('\t')
+		case 'n':
+			sb.WriteByte('\n')
+		case '\\':
+			sb.WriteByte('\\')
+		default:
+			sb.WriteByte('\\')
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package metapath
+
+import (
+	"fmt"
+
+	"netout/internal/hin"
+	"netout/internal/sparse"
+)
+
+// Traverser materializes neighbor vectors Φ_P(v) by hop-by-hop frontier
+// expansion over a graph. It owns reusable scratch space, so a single
+// Traverser amortizes allocations across many vertices; it is not safe for
+// concurrent use (create one per goroutine).
+type Traverser struct {
+	g   *hin.Graph
+	acc *sparse.Accumulator
+}
+
+// NewTraverser creates a traverser over g.
+func NewTraverser(g *hin.Graph) *Traverser {
+	return &Traverser{g: g, acc: sparse.NewAccumulator(64)}
+}
+
+// Graph returns the traversed graph.
+func (tr *Traverser) Graph() *hin.Graph { return tr.g }
+
+// NeighborVector computes Φ_P(v) (Definition 7): coordinate u holds
+// |π_P(v,u)|, the number of path instances of P from v to u, counting edge
+// multiplicities multiplicatively along each route. The source vertex must
+// have type P.Source().
+func (tr *Traverser) NeighborVector(p Path, v hin.VertexID) (sparse.Vector, error) {
+	if p.IsZero() {
+		return sparse.Vector{}, fmt.Errorf("metapath: zero path")
+	}
+	if !tr.g.Valid(v) {
+		return sparse.Vector{}, fmt.Errorf("metapath: vertex %d out of range", v)
+	}
+	if tr.g.Type(v) != p.Source() {
+		return sparse.Vector{}, fmt.Errorf("metapath: vertex %d has type %s, path starts at %s",
+			v, tr.g.Schema().TypeName(tr.g.Type(v)), tr.g.Schema().TypeName(p.Source()))
+	}
+	cur := sparse.Vector{Idx: []int32{int32(v)}, Val: []float64{1}}
+	for hop := 0; hop < p.Hops(); hop++ {
+		cur = tr.Expand(cur, p.Type(hop+1))
+		if cur.IsZero() {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// Expand advances a weighted frontier one hop to the given neighbor type:
+// out[u] = Σ_w frontier[w] · mult(w,u) over neighbors u of type next.
+func (tr *Traverser) Expand(frontier sparse.Vector, next hin.TypeID) sparse.Vector {
+	for i := range frontier.Idx {
+		w := frontier.Val[i]
+		nbrs, mults := tr.g.Neighbors(hin.VertexID(frontier.Idx[i]), next)
+		for j, u := range nbrs {
+			tr.acc.Add(int32(u), w*float64(mults[j]))
+		}
+	}
+	return tr.acc.Take()
+}
+
+// CountInstances returns |π_P(vi,vj)|, the number of instances of P
+// connecting vi to vj (Definition 5).
+func (tr *Traverser) CountInstances(p Path, vi, vj hin.VertexID) (float64, error) {
+	phi, err := tr.NeighborVector(p, vi)
+	if err != nil {
+		return 0, err
+	}
+	return phi.At(int32(vj)), nil
+}
+
+// Neighborhood returns N_P(vi) = {vj : π_P(vi,vj) ≠ ∅} (Definition 6), in
+// ascending vertex order.
+func (tr *Traverser) Neighborhood(p Path, v hin.VertexID) ([]hin.VertexID, error) {
+	phi, err := tr.NeighborVector(p, v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]hin.VertexID, len(phi.Idx))
+	for i, ix := range phi.Idx {
+		out[i] = hin.VertexID(ix)
+	}
+	return out, nil
+}
+
+// ExpandSet advances a set of vertices one hop to the given neighbor type,
+// returning the distinct neighbors (set semantics, no counts). Used by the
+// query engine to resolve candidate/reference set chains.
+func (tr *Traverser) ExpandSet(set []hin.VertexID, next hin.TypeID) []hin.VertexID {
+	for _, v := range set {
+		nbrs, _ := tr.g.Neighbors(v, next)
+		for _, u := range nbrs {
+			tr.acc.Add(int32(u), 1)
+		}
+	}
+	vec := tr.acc.Take()
+	out := make([]hin.VertexID, len(vec.Idx))
+	for i, ix := range vec.Idx {
+		out[i] = hin.VertexID(ix)
+	}
+	return out
+}
+
+// Visibility returns κ(v,v) = |π_{PP⁻¹}(v,v)| = ‖Φ_P(v)‖₂², the vertex's
+// potential for connectivity under feature path p (Section 5.1).
+func (tr *Traverser) Visibility(p Path, v hin.VertexID) (float64, error) {
+	phi, err := tr.NeighborVector(p, v)
+	if err != nil {
+		return 0, err
+	}
+	return phi.Norm2Sq(), nil
+}

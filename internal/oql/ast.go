@@ -1,0 +1,265 @@
+package oql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed form of a FIND OUTLIERS statement (Definition 8: the
+// candidate set Sc, the optional reference set Sr, the weighted feature
+// meta-paths P with weights w, and the number of outliers to return).
+type Query struct {
+	From       SetExpr   // candidate set Sc (required)
+	ComparedTo SetExpr   // reference set Sr; nil means Sr = Sc
+	Features   []Feature // feature meta-paths with weights (required)
+	TopK       int       // 0 means return all candidates ranked
+}
+
+// Feature is one entry of the JUDGED BY clause: a meta-path written as
+// dotted type names, with an optional weight (default 1).
+type Feature struct {
+	Segments []string
+	Weight   float64
+}
+
+// SetExpr is a candidate/reference set expression: either a SetChain or a
+// SetBinary combinator over two sub-expressions.
+type SetExpr interface {
+	fmt.Stringer
+	setExpr()
+}
+
+// SetOp is a binary set combinator.
+type SetOp int
+
+// Set combinators, in increasing precedence order (all are parsed
+// left-associative at the same precedence, like SQL's UNION chain).
+const (
+	SetUnion SetOp = iota
+	SetIntersect
+	SetExcept
+)
+
+func (op SetOp) String() string {
+	switch op {
+	case SetUnion:
+		return "UNION"
+	case SetIntersect:
+		return "INTERSECT"
+	case SetExcept:
+		return "EXCEPT"
+	}
+	return "?"
+}
+
+// SetBinary combines two set expressions with UNION, INTERSECT or EXCEPT.
+type SetBinary struct {
+	Op          SetOp
+	Left, Right SetExpr
+}
+
+func (*SetBinary) setExpr() {}
+
+func (b *SetBinary) String() string {
+	return fmt.Sprintf("%s %s %s", parenthesize(b.Left), b.Op, parenthesize(b.Right))
+}
+
+func parenthesize(e SetExpr) string {
+	if _, ok := e.(*SetBinary); ok {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// SetChain is an anchored neighborhood chain:
+//
+//	venue{"EDBT"}.paper.author AS A WHERE COUNT(A.paper) > 10
+//
+// TypeName anchors the chain at a vertex type; Names optionally restricts
+// the anchor to specific vertices (empty means every vertex of the type);
+// Steps walk the meta-path to the element type of the set; Alias names the
+// set for WHERE conditions; Where optionally filters members.
+type SetChain struct {
+	TypeName string
+	Names    []string
+	Steps    []string
+	Alias    string
+	Where    Cond
+}
+
+func (*SetChain) setExpr() {}
+
+func (c *SetChain) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.TypeName)
+	if len(c.Names) > 0 {
+		sb.WriteByte('{')
+		for i, n := range c.Names {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(strconv.Quote(n))
+		}
+		sb.WriteByte('}')
+	}
+	for _, s := range c.Steps {
+		sb.WriteByte('.')
+		sb.WriteString(s)
+	}
+	if c.Alias != "" {
+		sb.WriteString(" AS ")
+		sb.WriteString(c.Alias)
+	}
+	if c.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(c.Where.String())
+	}
+	return sb.String()
+}
+
+// ElementType returns the vertex type name of the set's members: the last
+// step, or the anchor type for step-less chains.
+func (c *SetChain) ElementType() string {
+	if len(c.Steps) > 0 {
+		return c.Steps[len(c.Steps)-1]
+	}
+	return c.TypeName
+}
+
+// Cond is a WHERE condition tree.
+type Cond interface {
+	fmt.Stringer
+	cond()
+}
+
+// CondOp joins two conditions.
+type CondOp int
+
+// Boolean connectives.
+const (
+	CondAnd CondOp = iota
+	CondOr
+)
+
+func (op CondOp) String() string {
+	if op == CondAnd {
+		return "AND"
+	}
+	return "OR"
+}
+
+// CondBinary is an AND/OR of two conditions.
+type CondBinary struct {
+	Op          CondOp
+	Left, Right Cond
+}
+
+func (*CondBinary) cond() {}
+
+func (c *CondBinary) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.Left, c.Op, c.Right)
+}
+
+// CondNot negates a condition.
+type CondNot struct{ Inner Cond }
+
+func (*CondNot) cond() {}
+
+func (c *CondNot) String() string { return "NOT " + c.Inner.String() }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	}
+	return "?"
+}
+
+// Eval applies the comparison to a left-hand value.
+func (op CmpOp) Eval(lhs, rhs float64) bool {
+	switch op {
+	case CmpLT:
+		return lhs < rhs
+	case CmpLE:
+		return lhs <= rhs
+	case CmpGT:
+		return lhs > rhs
+	case CmpGE:
+		return lhs >= rhs
+	case CmpEQ:
+		return lhs == rhs
+	case CmpNE:
+		return lhs != rhs
+	}
+	return false
+}
+
+// CondCount is the comparison COUNT(A.paper.term) >= 5: for each member of
+// the set aliased A, count the distinct meta-path neighbors reached by the
+// dotted steps and compare against Value.
+type CondCount struct {
+	Alias    string   // the alias the count is anchored at
+	Segments []string // meta-path steps from the element type
+	Op       CmpOp
+	Value    float64
+}
+
+func (*CondCount) cond() {}
+
+func (c *CondCount) String() string {
+	return fmt.Sprintf("COUNT(%s.%s) %s %s",
+		c.Alias, strings.Join(c.Segments, "."), c.Op,
+		strconv.FormatFloat(c.Value, 'g', -1, 64))
+}
+
+// String renders the query in canonical form; Parse(q.String()) reproduces
+// an equivalent Query.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("FIND OUTLIERS\nFROM ")
+	sb.WriteString(q.From.String())
+	if q.ComparedTo != nil {
+		sb.WriteString("\nCOMPARED TO ")
+		sb.WriteString(q.ComparedTo.String())
+	}
+	sb.WriteString("\nJUDGED BY ")
+	for i, f := range q.Features {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strings.Join(f.Segments, "."))
+		if f.Weight != 1 {
+			sb.WriteString(" : ")
+			sb.WriteString(strconv.FormatFloat(f.Weight, 'g', -1, 64))
+		}
+	}
+	if q.TopK > 0 {
+		fmt.Fprintf(&sb, "\nTOP %d", q.TopK)
+	}
+	sb.WriteString(";")
+	return sb.String()
+}

@@ -1,0 +1,45 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the lexer and parser with arbitrary input. Run the
+// seed corpus as a regression test with `go test`; explore with
+// `go test -fuzz=FuzzParse ./internal/oql`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"FIND OUTLIERS FROM author JUDGED BY author.paper;",
+		`FIND OUTLIERS FROM author{"Christos Faloutsos"}.paper.author JUDGED BY author.paper.venue TOP 10;`,
+		`FIND OUTLIERS FROM venue{"SIGMOD"}.paper.author AS A WHERE COUNT(A.paper) >= 5 JUDGED BY author.paper.author, author.paper.term : 3.0 TOP 50;`,
+		`FIND OUTLIERS FROM a{"x"} UNION b{"y"} INTERSECT c EXCEPT (d UNION e) JUDGED BY a.b;`,
+		`find outliers in author{'quoted \' name'} judged by a.b top 1`,
+		"FIND OUTLIERS FROM a -- comment\nJUDGED BY a.b; // more",
+		`FIND OUTLIERS FROM a AS s WHERE NOT (COUNT(s.b) != 0 AND COUNT(s.b.c) < 1.5) OR COUNT(s.b) = 2 JUDGED BY a.b;`,
+		"FIND OUTLIERS FROM a{\"\\t\\n\\\\\"} JUDGED BY a.b;",
+		"\x00\xff\xfe",
+		strings.Repeat("(", 100),
+		"FIND OUTLIERS FROM " + strings.Repeat("a.", 200) + "b JUDGED BY a.b;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed queries must round-trip through their canonical printing.
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form unparsable: %q from %q: %v", printed, src, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("round trip unstable:\n%q\nvs\n%q", printed, q2.String())
+		}
+	})
+}

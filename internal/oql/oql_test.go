@@ -1,0 +1,539 @@
+package oql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+
+	"netout/internal/hin"
+)
+
+func bibSchema(t *testing.T) *hin.Schema {
+	t.Helper()
+	s := hin.MustSchema("author", "paper", "venue", "term")
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	v, _ := s.TypeByName("venue")
+	tm, _ := s.TypeByName("term")
+	s.AllowLink(p, a)
+	s.AllowLink(p, v)
+	s.AllowLink(p, tm)
+	return s
+}
+
+// The three example queries from Section 4.3 of the paper.
+const (
+	example1 = `FIND OUTLIERS
+FROM author{"Christos Faloutsos"}.paper.author
+JUDGED BY author.paper.venue
+TOP 10;`
+
+	example2 = `FIND OUTLIERS
+FROM
+  author{"Christos Faloutsos"}.paper.author
+COMPARED TO
+  venue{"KDD"}.paper.author
+JUDGED BY
+  author.paper.venue,
+  author.paper.author
+TOP 10;`
+
+	example3 = `FIND OUTLIERS
+FROM venue{"SIGMOD"}.paper.author AS A
+  WHERE COUNT(A.paper) >= 5
+JUDGED BY
+  author.paper.author,
+  author.paper.term : 3.0
+TOP 50;`
+)
+
+func TestParseExample1(t *testing.T) {
+	q, err := Parse(example1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	chain, ok := q.From.(*SetChain)
+	if !ok {
+		t.Fatalf("From = %T", q.From)
+	}
+	if chain.TypeName != "author" || len(chain.Names) != 1 || chain.Names[0] != "Christos Faloutsos" {
+		t.Fatalf("chain anchor = %+v", chain)
+	}
+	if len(chain.Steps) != 2 || chain.Steps[0] != "paper" || chain.Steps[1] != "author" {
+		t.Fatalf("chain steps = %v", chain.Steps)
+	}
+	if q.ComparedTo != nil {
+		t.Fatal("no COMPARED TO expected")
+	}
+	if len(q.Features) != 1 || strings.Join(q.Features[0].Segments, ".") != "author.paper.venue" {
+		t.Fatalf("features = %+v", q.Features)
+	}
+	if q.Features[0].Weight != 1 {
+		t.Fatalf("default weight = %g", q.Features[0].Weight)
+	}
+	if q.TopK != 10 {
+		t.Fatalf("TopK = %d", q.TopK)
+	}
+}
+
+func TestParseExample2(t *testing.T) {
+	q, err := Parse(example2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.ComparedTo == nil {
+		t.Fatal("COMPARED TO missing")
+	}
+	ref, ok := q.ComparedTo.(*SetChain)
+	if !ok || ref.TypeName != "venue" || ref.Names[0] != "KDD" {
+		t.Fatalf("reference = %+v", q.ComparedTo)
+	}
+	if len(q.Features) != 2 {
+		t.Fatalf("features = %+v", q.Features)
+	}
+}
+
+func TestParseExample3(t *testing.T) {
+	q, err := Parse(example3)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	chain := q.From.(*SetChain)
+	if chain.Alias != "A" {
+		t.Fatalf("alias = %q", chain.Alias)
+	}
+	cnt, ok := chain.Where.(*CondCount)
+	if !ok {
+		t.Fatalf("Where = %T", chain.Where)
+	}
+	if cnt.Alias != "A" || len(cnt.Segments) != 1 || cnt.Segments[0] != "paper" ||
+		cnt.Op != CmpGE || cnt.Value != 5 {
+		t.Fatalf("count = %+v", cnt)
+	}
+	if q.Features[1].Weight != 3 {
+		t.Fatalf("weight = %g", q.Features[1].Weight)
+	}
+	if q.TopK != 50 {
+		t.Fatalf("TopK = %d", q.TopK)
+	}
+}
+
+// Table 4's query templates use IN instead of FROM.
+func TestParseInKeyword(t *testing.T) {
+	q, err := Parse(`FIND OUTLIERS IN author{"X"}.paper.venue JUDGED BY venue.paper.term TOP 10;`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.From.(*SetChain).TypeName != "author" {
+		t.Fatal("IN clause not parsed")
+	}
+}
+
+func TestParseSetOperators(t *testing.T) {
+	q, err := Parse(`FIND OUTLIERS FROM
+  venue{"EDBT"}.paper.author UNION venue{"ICDE"}.paper.author INTERSECT venue{"KDD"}.paper.author
+JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// Left-associative: (EDBT UNION ICDE) INTERSECT KDD.
+	top, ok := q.From.(*SetBinary)
+	if !ok || top.Op != SetIntersect {
+		t.Fatalf("top = %+v", q.From)
+	}
+	inner, ok := top.Left.(*SetBinary)
+	if !ok || inner.Op != SetUnion {
+		t.Fatalf("inner = %+v", top.Left)
+	}
+	if q.TopK != 0 {
+		t.Fatalf("TopK default = %d", q.TopK)
+	}
+}
+
+func TestParseParenthesizedSets(t *testing.T) {
+	q, err := Parse(`FIND OUTLIERS FROM
+  venue{"EDBT"}.paper.author EXCEPT (venue{"ICDE"}.paper.author UNION venue{"KDD"}.paper.author)
+JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	top := q.From.(*SetBinary)
+	if top.Op != SetExcept {
+		t.Fatalf("op = %v", top.Op)
+	}
+	if _, ok := top.Right.(*SetBinary); !ok {
+		t.Fatalf("right = %T", top.Right)
+	}
+}
+
+func TestParseMultiNameAnchorAndBareType(t *testing.T) {
+	q, err := Parse(`FIND OUTLIERS FROM author{"A", "B"}.paper.author COMPARED TO author JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := q.From.(*SetChain).Names; len(got) != 2 || got[1] != "B" {
+		t.Fatalf("names = %v", got)
+	}
+	ref := q.ComparedTo.(*SetChain)
+	if ref.TypeName != "author" || len(ref.Names) != 0 || len(ref.Steps) != 0 {
+		t.Fatalf("bare-type reference = %+v", ref)
+	}
+}
+
+func TestParseComplexWhere(t *testing.T) {
+	q, err := Parse(`FIND OUTLIERS FROM venue{"KDD"}.paper.author AS A
+WHERE COUNT(A.paper) >= 5 AND (COUNT(A.paper.venue) < 3 OR NOT COUNT(A.paper.term) = 0)
+JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	w := q.From.(*SetChain).Where
+	and, ok := w.(*CondBinary)
+	if !ok || and.Op != CondAnd {
+		t.Fatalf("top cond = %+v", w)
+	}
+	or, ok := and.Right.(*CondBinary)
+	if !ok || or.Op != CondOr {
+		t.Fatalf("right cond = %+v", and.Right)
+	}
+	if _, ok := or.Right.(*CondNot); !ok {
+		t.Fatalf("NOT missing: %+v", or.Right)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `FIND OUTLIERS FROM author{"X"}.paper.author // candidate set
+-- reference set omitted
+JUDGED BY author.paper.venue // feature
+TOP 3;`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.TopK != 3 {
+		t.Fatal("comments broke parsing")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`find outliers from author{"X"}.paper.author judged by author.paper.venue top 7`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.TopK != 7 {
+		t.Fatal("lowercase keywords not accepted")
+	}
+}
+
+func TestParseSingleQuotedStringsAndEscapes(t *testing.T) {
+	q, err := Parse(`FIND OUTLIERS FROM author{'He said \"hi\"'}.paper.author JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := q.From.(*SetChain).Names[0]
+	if got != `He said "hi"` {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"missing outliers", "FIND author JUDGED BY a.b;"},
+		{"missing from", "FIND OUTLIERS JUDGED BY a.b;"},
+		{"missing judged", `FIND OUTLIERS FROM author{"X"}.paper.author TOP 5;`},
+		{"single segment feature", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author;`},
+		{"zero top", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author.paper.venue TOP 0;`},
+		{"negative weight", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author.paper.venue : 0;`},
+		{"fractional top", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author.paper.venue TOP 2.5;`},
+		{"unterminated string", `FIND OUTLIERS FROM author{"X.paper.author JUDGED BY author.paper.venue;`},
+		{"unterminated brace", `FIND OUTLIERS FROM author{"X".paper.author JUDGED BY author.paper.venue;`},
+		{"bad escape", `FIND OUTLIERS FROM author{"\q"}.paper.author JUDGED BY author.paper.venue;`},
+		{"count without path", `FIND OUTLIERS FROM author AS A WHERE COUNT(A) > 1 JUDGED BY author.paper.venue;`},
+		{"count without cmp", `FIND OUTLIERS FROM author AS A WHERE COUNT(A.paper) JUDGED BY author.paper.venue;`},
+		{"trailing garbage", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author.paper.venue; extra`},
+		{"stray bang", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author.paper.venue ! ;`},
+		{"dot without step", `FIND OUTLIERS FROM author{"X"}. JUDGED BY author.paper.venue;`},
+		{"keyword as chain", `FIND OUTLIERS FROM UNION JUDGED BY author.paper.venue;`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("Parse(%q) should fail", tc.src)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("FIND OUTLIERS\nFROM ???")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Pos.Line)
+	}
+	if !strings.Contains(se.Error(), "oql:") {
+		t.Fatalf("Error() = %q", se.Error())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{example1, example2, example3} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip mismatch:\n%s\nvs\n%s", q.String(), q2.String())
+		}
+	}
+}
+
+// randomQuery builds a random valid query AST for round-trip testing.
+func randomQuery(r *rand.Rand) *Query {
+	types := []string{"author", "paper", "venue", "term"}
+	randChain := func() *SetChain {
+		c := &SetChain{TypeName: types[r.Intn(len(types))]}
+		for i := 0; i < r.Intn(3); i++ {
+			c.Names = append(c.Names, string(rune('A'+r.Intn(26))))
+		}
+		for i := 0; i < r.Intn(3); i++ {
+			c.Steps = append(c.Steps, types[r.Intn(len(types))])
+		}
+		if r.Intn(2) == 0 {
+			c.Alias = "S"
+			c.Where = &CondCount{
+				Alias:    "S",
+				Segments: []string{types[r.Intn(len(types))]},
+				Op:       CmpOp(r.Intn(6)),
+				Value:    float64(r.Intn(20)),
+			}
+		}
+		return c
+	}
+	var randSet func(depth int) SetExpr
+	randSet = func(depth int) SetExpr {
+		if depth == 0 || r.Intn(2) == 0 {
+			return randChain()
+		}
+		return &SetBinary{
+			Op:    SetOp(r.Intn(3)),
+			Left:  randSet(depth - 1),
+			Right: randSet(depth - 1),
+		}
+	}
+	q := &Query{From: randSet(2)}
+	if r.Intn(2) == 0 {
+		q.ComparedTo = randSet(1)
+	}
+	for i := 0; i <= r.Intn(3); i++ {
+		f := Feature{Segments: []string{types[r.Intn(len(types))], types[r.Intn(len(types))]}, Weight: 1}
+		if r.Intn(2) == 0 {
+			f.Weight = float64(1+r.Intn(8)) / 2
+		}
+		q.Features = append(q.Features, f)
+	}
+	if r.Intn(2) == 0 {
+		q.TopK = 1 + r.Intn(100)
+	}
+	return q
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		src := q.String()
+		q2, err := Parse(src)
+		if err != nil {
+			t.Logf("Parse(%q): %v", src, err)
+			return false
+		}
+		return q2.String() == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := bibSchema(t)
+	good := []string{
+		example1, example2, example3,
+		`FIND OUTLIERS IN author{"X"}.paper.venue JUDGED BY venue.paper.term TOP 10;`,
+		`FIND OUTLIERS IN author{"X"}.paper.term JUDGED BY term.paper.venue TOP 10;`,
+		`FIND OUTLIERS FROM venue{"A"}.paper.author UNION venue{"B"}.paper.author JUDGED BY author.paper.venue;`,
+		// WHERE without alias uses the element type name.
+		`FIND OUTLIERS FROM venue{"A"}.paper.author WHERE COUNT(author.paper) > 2 JUDGED BY author.paper.venue;`,
+	}
+	for _, src := range good {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Validate(q, s); err != nil {
+			t.Errorf("Validate(%q): %v", src, err)
+		}
+	}
+	author, _ := s.TypeByName("author")
+	q, _ := Parse(example1)
+	if et, _ := Validate(q, s); et != author {
+		t.Errorf("element type = %v, want author", et)
+	}
+
+	bad := []struct{ name, src string }{
+		{"unknown anchor type", `FIND OUTLIERS FROM person{"X"}.paper.author JUDGED BY author.paper.venue;`},
+		{"unknown step type", `FIND OUTLIERS FROM author{"X"}.article.author JUDGED BY author.paper.venue;`},
+		{"schema-invalid chain", `FIND OUTLIERS FROM author{"X"}.venue JUDGED BY venue.paper.author;`},
+		{"feature wrong source", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY venue.paper.author;`},
+		{"feature invalid hop", `FIND OUTLIERS FROM author{"X"}.paper.author JUDGED BY author.venue.paper;`},
+		{"ref type mismatch", `FIND OUTLIERS FROM author{"X"}.paper.author COMPARED TO author{"Y"}.paper JUDGED BY author.paper.venue;`},
+		{"union type mismatch", `FIND OUTLIERS FROM author{"X"}.paper.author UNION author{"Y"}.paper JUDGED BY author.paper.venue;`},
+		{"wrong where alias", `FIND OUTLIERS FROM venue{"A"}.paper.author AS A WHERE COUNT(B.paper) > 2 JUDGED BY author.paper.venue;`},
+		{"invalid count path", `FIND OUTLIERS FROM venue{"A"}.paper.author AS A WHERE COUNT(A.venue) > 2 JUDGED BY author.paper.venue;`},
+		{"unknown count type", `FIND OUTLIERS FROM venue{"A"}.paper.author AS A WHERE COUNT(A.article) > 2 JUDGED BY author.paper.venue;`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if _, err := Validate(q, s); err == nil {
+				t.Errorf("Validate(%q) should fail", tc.src)
+			}
+		})
+	}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	s := bibSchema(t)
+	if _, err := Validate(&Query{}, s); err == nil {
+		t.Error("query without From should fail")
+	}
+	if _, err := Validate(&Query{From: &SetChain{TypeName: "author"}}, s); err == nil {
+		t.Error("query without features should fail")
+	}
+	q := &Query{
+		From:     &SetChain{TypeName: "author"},
+		Features: []Feature{{Segments: []string{"author", "paper"}, Weight: -1}},
+	}
+	if _, err := Validate(q, s); err == nil {
+		t.Error("negative weight should fail validation")
+	}
+}
+
+func TestParseFullEscapeRepertoire(t *testing.T) {
+	// The printer uses strconv.Quote, so the lexer must accept every escape
+	// it can emit (a fuzz-found regression: \x1d).
+	cases := map[string]string{
+		`"\a\b\f\n\r\t\v"`: "\a\b\f\n\r\t\v",
+		`"\x1d"`:           "\x1d",
+		`"é"`:              "é",
+		`"\U0001F600"`:     "😀",
+		`"mix\x41B"`:       "mixAB",
+	}
+	for lit, want := range cases {
+		src := `FIND OUTLIERS FROM author{` + lit + `}.paper.author JUDGED BY author.paper.venue;`
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%s): %v", lit, err)
+			continue
+		}
+		got := q.From.(*SetChain).Names[0]
+		if got != want {
+			t.Errorf("Parse(%s) = %q, want %q", lit, got, want)
+		}
+	}
+	bad := []string{`"\x1"`, `"\xzz"`, `"\u12"`, `"\U00110000"`, `"\x`}
+	for _, lit := range bad {
+		src := `FIND OUTLIERS FROM author{` + lit + `}.paper.author JUDGED BY author.paper.venue;`
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%s) should fail", lit)
+		}
+	}
+}
+
+// Any name, however hostile, survives a print/parse round trip.
+func TestQuickNameQuotingRoundTrip(t *testing.T) {
+	f := func(name string) bool {
+		if !utf8.ValidString(name) {
+			return true // strconv.Quote replaces invalid UTF-8; skip
+		}
+		q := &Query{
+			From:     &SetChain{TypeName: "author", Names: []string{name}},
+			Features: []Feature{{Segments: []string{"author", "paper"}, Weight: 1}},
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", q.String(), err)
+			return false
+		}
+		return q2.From.(*SetChain).Names[0] == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringersAndEval(t *testing.T) {
+	// Token kind descriptions appear in error messages; keep them readable.
+	for _, k := range []tokenKind{tokEOF, tokIdent, tokString, tokNumber, tokDot,
+		tokComma, tokColon, tokSemi, tokLParen, tokRParen, tokLBrace, tokRBrace,
+		tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE} {
+		if k.String() == "" || k.String() == "unknown token" {
+			t.Errorf("kind %d has no description", k)
+		}
+	}
+	if tokenKind(99).String() != "unknown token" {
+		t.Error("unknown kind description wrong")
+	}
+	// Comparison evaluation, all six operators.
+	cases := []struct {
+		op   CmpOp
+		l, r float64
+		want bool
+	}{
+		{CmpLT, 1, 2, true}, {CmpLT, 2, 2, false},
+		{CmpLE, 2, 2, true}, {CmpLE, 3, 2, false},
+		{CmpGT, 3, 2, true}, {CmpGT, 2, 2, false},
+		{CmpGE, 2, 2, true}, {CmpGE, 1, 2, false},
+		{CmpEQ, 2, 2, true}, {CmpEQ, 1, 2, false},
+		{CmpNE, 1, 2, true}, {CmpNE, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.l, c.r); got != c.want {
+			t.Errorf("%v.Eval(%g,%g) = %v", c.op, c.l, c.r, got)
+		}
+	}
+	if CmpOp(99).Eval(1, 2) || CmpOp(99).String() != "?" {
+		t.Error("unknown CmpOp misbehaves")
+	}
+	// Set/cond stringers used in error reporting.
+	if SetOp(99).String() != "?" || CondOp(99).String() == "" {
+		t.Error("operator stringers misbehave")
+	}
+	// ElementType for step-less chains.
+	c := &SetChain{TypeName: "author"}
+	if c.ElementType() != "author" {
+		t.Error("step-less ElementType wrong")
+	}
+	c.Steps = []string{"paper", "venue"}
+	if c.ElementType() != "venue" {
+		t.Error("stepped ElementType wrong")
+	}
+	n := &CondNot{Inner: &CondCount{Alias: "A", Segments: []string{"paper"}, Op: CmpGT, Value: 1}}
+	if !strings.Contains(n.String(), "NOT") {
+		t.Error("CondNot.String wrong")
+	}
+}

@@ -1,0 +1,412 @@
+package oql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Parse parses a single FIND OUTLIERS statement.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSemi {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after end of query", p.describe())
+	}
+	return q, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) describe() string {
+	if p.tok.kind == tokIdent {
+		return fmt.Sprintf("identifier %q", p.tok.text)
+	}
+	return p.tok.kind.String()
+}
+
+// isKeyword reports whether the current token is the given case-insensitive
+// keyword.
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errorf("expected %s, found %s", strings.ToUpper(kw), p.describe())
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %s, found %s", kind, p.describe())
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// reserved keywords cannot start a set chain or be used as steps outside
+// their clause context.
+func (p *parser) atClauseBoundary() bool {
+	for _, kw := range []string{"COMPARED", "JUDGED", "TOP", "UNION", "INTERSECT", "EXCEPT", "AS", "WHERE"} {
+		if p.isKeyword(kw) {
+			return true
+		}
+	}
+	return p.tok.kind == tokSemi || p.tok.kind == tokEOF || p.tok.kind == tokRParen
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("FIND"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("OUTLIERS"); err != nil {
+		return nil, err
+	}
+	// Both FROM and IN introduce the candidate set (the paper uses FROM in
+	// Section 4.2 and IN in the Table 4 query templates).
+	if !p.isKeyword("FROM") && !p.isKeyword("IN") {
+		return nil, p.errorf("expected FROM or IN, found %s", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	var err error
+	if q.From, err = p.parseSetExpr(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("COMPARED") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		if q.ComparedTo, err = p.parseSetExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("JUDGED"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	if q.Features, err = p.parseFeatures(); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("TOP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		k := int(t.num)
+		if float64(k) != t.num || k <= 0 {
+			return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("TOP expects a positive integer, got %s", t.text)}
+		}
+		q.TopK = k
+	}
+	return q, nil
+}
+
+func (p *parser) parseSetExpr() (SetExpr, error) {
+	left, err := p.parseSetTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op SetOp
+		switch {
+		case p.isKeyword("UNION"):
+			op = SetUnion
+		case p.isKeyword("INTERSECT"):
+			op = SetIntersect
+		case p.isKeyword("EXCEPT"):
+			op = SetExcept
+		default:
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseSetTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetBinary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseSetTerm() (SetExpr, error) {
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseSetChain()
+}
+
+func (p *parser) parseSetChain() (SetExpr, error) {
+	if p.tok.kind != tokIdent || p.atClauseBoundary() {
+		return nil, p.errorf("expected a vertex type name, found %s", p.describe())
+	}
+	c := &SetChain{TypeName: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokLBrace {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			c.Names = append(c.Names, t.text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.Steps = append(c.Steps, t.text)
+	}
+	if p.isKeyword("AS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.Alias = t.text
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseCondOr()
+		if err != nil {
+			return nil, err
+		}
+		c.Where = w
+	}
+	return c, nil
+}
+
+func (p *parser) parseCondOr() (Cond, error) {
+	left, err := p.parseCondAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCondAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &CondBinary{Op: CondOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCondAnd() (Cond, error) {
+	left, err := p.parseCondUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCondUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &CondBinary{Op: CondAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCondUnary() (Cond, error) {
+	if p.isKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseCondUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &CondNot{Inner: inner}, nil
+	}
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseCondOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseCondCount()
+}
+
+func (p *parser) parseCondCount() (Cond, error) {
+	if err := p.expectKeyword("COUNT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	alias, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &CondCount{Alias: alias.text}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.Segments = append(c.Segments, t.text)
+	}
+	if len(c.Segments) == 0 {
+		return nil, p.errorf("COUNT needs a meta-path, e.g. COUNT(A.paper)")
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	switch p.tok.kind {
+	case tokLT:
+		c.Op = CmpLT
+	case tokLE:
+		c.Op = CmpLE
+	case tokGT:
+		c.Op = CmpGT
+	case tokGE:
+		c.Op = CmpGE
+	case tokEQ:
+		c.Op = CmpEQ
+	case tokNE:
+		c.Op = CmpNE
+	default:
+		return nil, p.errorf("expected a comparison operator, found %s", p.describe())
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	c.Value = t.num
+	return c, nil
+}
+
+func (p *parser) parseFeatures() ([]Feature, error) {
+	var out []Feature
+	for {
+		f := Feature{Weight: 1}
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		f.Segments = append(f.Segments, t.text)
+		for p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			f.Segments = append(f.Segments, t.text)
+		}
+		if len(f.Segments) < 2 {
+			return nil, p.errorf("a feature meta-path needs at least two types, got %q", f.Segments[0])
+		}
+		if p.tok.kind == tokColon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if t.num <= 0 || math.IsInf(t.num, 0) || math.IsNaN(t.num) {
+				return nil, &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf("feature weight must be positive and finite, got %s", t.text)}
+			}
+			f.Weight = t.num
+		}
+		out = append(out, f)
+		if p.tok.kind != tokComma {
+			return out, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package oql implements the outlier query language of Section 4.2:
+//
+//	FIND OUTLIERS FROM ...   // candidate set
+//	COMPARED TO ...          // reference set (optional)
+//	JUDGED BY ...            // weighted feature meta-paths
+//	TOP ...;                 // number of outliers to return (optional)
+//
+// Set expressions support anchored neighborhood chains
+// (author{"Christos Faloutsos"}.paper.author), AS aliases, WHERE filters
+// over meta-path COUNTs, and UNION / INTERSECT / EXCEPT combinators.
+// Keywords are case-insensitive; identifiers are case-sensitive.
+package oql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokDot
+	tokComma
+	tokColon
+	tokSemi
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokDot:
+		return "'.'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokSemi:
+		return "';'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'!='"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier text, unquoted string value, or number literal
+	num  float64
+	pos  Pos
+}
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// SyntaxError reports a lexical or parse error with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("oql: %s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	b := l.src[l.off]
+	l.off++
+	if b == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return b
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		b := l.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			l.advance()
+		case b == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case b == '-' && l.off+1 < len(l.src) && l.src[l.off+1] == '-':
+			// SQL-style comment.
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	b := l.peekByte()
+	switch b {
+	case '.':
+		l.advance()
+		return token{kind: tokDot, pos: pos}, nil
+	case ',':
+		l.advance()
+		return token{kind: tokComma, pos: pos}, nil
+	case ':':
+		l.advance()
+		return token{kind: tokColon, pos: pos}, nil
+	case ';':
+		l.advance()
+		return token{kind: tokSemi, pos: pos}, nil
+	case '(':
+		l.advance()
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		l.advance()
+		return token{kind: tokRParen, pos: pos}, nil
+	case '{':
+		l.advance()
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		l.advance()
+		return token{kind: tokRBrace, pos: pos}, nil
+	case '<':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokLE, pos: pos}, nil
+		}
+		if l.peekByte() == '>' {
+			l.advance()
+			return token{kind: tokNE, pos: pos}, nil
+		}
+		return token{kind: tokLT, pos: pos}, nil
+	case '>':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokGE, pos: pos}, nil
+		}
+		return token{kind: tokGT, pos: pos}, nil
+	case '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+		}
+		return token{kind: tokEQ, pos: pos}, nil
+	case '!':
+		l.advance()
+		if l.peekByte() != '=' {
+			return token{}, l.errorf(pos, "unexpected '!'")
+		}
+		l.advance()
+		return token{kind: tokNE, pos: pos}, nil
+	case '"', '\'':
+		return l.lexString(pos)
+	}
+	if b >= '0' && b <= '9' {
+		return l.lexNumber(pos)
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	if isIdentStart(r) {
+		return l.lexIdent(pos)
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", r)
+}
+
+func (l *lexer) lexString(pos Pos) (token, error) {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token{}, l.errorf(pos, "unterminated string")
+		}
+		b := l.advance()
+		switch b {
+		case quote:
+			return token{kind: tokString, text: sb.String(), pos: pos}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return token{}, l.errorf(pos, "unterminated escape in string")
+			}
+			e := l.advance()
+			switch e {
+			case 'a':
+				sb.WriteByte('\a')
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case 't':
+				sb.WriteByte('\t')
+			case 'v':
+				sb.WriteByte('\v')
+			case '\\', '"', '\'':
+				sb.WriteByte(e)
+			case 'x':
+				v, err := l.hexDigits(pos, 2)
+				if err != nil {
+					return token{}, err
+				}
+				sb.WriteByte(byte(v))
+			case 'u':
+				v, err := l.hexDigits(pos, 4)
+				if err != nil {
+					return token{}, err
+				}
+				sb.WriteRune(rune(v))
+			case 'U':
+				v, err := l.hexDigits(pos, 8)
+				if err != nil {
+					return token{}, err
+				}
+				if v > 0x10FFFF {
+					return token{}, l.errorf(pos, "escape \\U%08x outside unicode range", v)
+				}
+				sb.WriteRune(rune(v))
+			default:
+				return token{}, l.errorf(pos, "unknown escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+// hexDigits consumes exactly n hex digits of an escape sequence.
+func (l *lexer) hexDigits(pos Pos, n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		if l.off >= len(l.src) {
+			return 0, l.errorf(pos, "unterminated hex escape in string")
+		}
+		b := l.advance()
+		switch {
+		case b >= '0' && b <= '9':
+			v = v<<4 | uint32(b-'0')
+		case b >= 'a' && b <= 'f':
+			v = v<<4 | uint32(b-'a'+10)
+		case b >= 'A' && b <= 'F':
+			v = v<<4 | uint32(b-'A'+10)
+		default:
+			return 0, l.errorf(pos, "bad hex digit %q in escape", b)
+		}
+	}
+	return v, nil
+}
+
+func (l *lexer) lexNumber(pos Pos) (token, error) {
+	start := l.off
+	for l.off < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+		l.advance()
+	}
+	if l.off < len(l.src) && l.peekByte() == '.' &&
+		l.off+1 < len(l.src) && l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9' {
+		l.advance()
+		for l.off < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	var num float64
+	if _, err := fmt.Sscanf(text, "%g", &num); err != nil {
+		return token{}, l.errorf(pos, "bad number %q", text)
+	}
+	return token{kind: tokNumber, text: text, num: num, pos: pos}, nil
+}
+
+func (l *lexer) lexIdent(pos Pos) (token, error) {
+	start := l.off
+	for l.off < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !isIdentPart(r) {
+			break
+		}
+		for i := 0; i < size; i++ {
+			l.advance()
+		}
+	}
+	return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+}

@@ -1,0 +1,131 @@
+package oql
+
+import (
+	"fmt"
+	"strings"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+)
+
+// Validate performs semantic validation of a parsed query against a schema,
+// enforcing the constraints of Definition 8:
+//
+//   - every type name in set chains, WHERE counts and features exists;
+//   - every chain, count path and feature path is a schema-valid meta-path;
+//   - the candidate and reference sets have the same element type;
+//   - every feature meta-path starts at that element type;
+//   - WHERE conditions reference the chain's own alias (or its element type
+//     name when no alias was declared).
+//
+// It returns the resolved element type of the candidate set.
+func Validate(q *Query, s *hin.Schema) (hin.TypeID, error) {
+	if q.From == nil {
+		return hin.InvalidType, fmt.Errorf("oql: query has no candidate set")
+	}
+	if len(q.Features) == 0 {
+		return hin.InvalidType, fmt.Errorf("oql: query has no feature meta-paths")
+	}
+	candType, err := validateSetExpr(q.From, s)
+	if err != nil {
+		return hin.InvalidType, fmt.Errorf("oql: candidate set: %w", err)
+	}
+	if q.ComparedTo != nil {
+		refType, err := validateSetExpr(q.ComparedTo, s)
+		if err != nil {
+			return hin.InvalidType, fmt.Errorf("oql: reference set: %w", err)
+		}
+		if refType != candType {
+			return hin.InvalidType, fmt.Errorf(
+				"oql: candidate set has element type %s but reference set has %s; they must match",
+				s.TypeName(candType), s.TypeName(refType))
+		}
+	}
+	for i, f := range q.Features {
+		p, err := metapath.FromNames(s, f.Segments...)
+		if err != nil {
+			return hin.InvalidType, fmt.Errorf("oql: feature %d: %w", i+1, err)
+		}
+		if err := p.Validate(s); err != nil {
+			return hin.InvalidType, fmt.Errorf("oql: feature %d (%s): %w", i+1, strings.Join(f.Segments, "."), err)
+		}
+		if p.Source() != candType {
+			return hin.InvalidType, fmt.Errorf(
+				"oql: feature %d starts at %s but the candidate set contains %s vertices",
+				i+1, f.Segments[0], s.TypeName(candType))
+		}
+		if f.Weight <= 0 {
+			return hin.InvalidType, fmt.Errorf("oql: feature %d has non-positive weight %g", i+1, f.Weight)
+		}
+	}
+	return candType, nil
+}
+
+func validateSetExpr(e SetExpr, s *hin.Schema) (hin.TypeID, error) {
+	switch e := e.(type) {
+	case *SetChain:
+		return validateSetChain(e, s)
+	case *SetBinary:
+		lt, err := validateSetExpr(e.Left, s)
+		if err != nil {
+			return hin.InvalidType, err
+		}
+		rt, err := validateSetExpr(e.Right, s)
+		if err != nil {
+			return hin.InvalidType, err
+		}
+		if lt != rt {
+			return hin.InvalidType, fmt.Errorf(
+				"%s combines %s vertices with %s vertices", e.Op, s.TypeName(lt), s.TypeName(rt))
+		}
+		return lt, nil
+	default:
+		return hin.InvalidType, fmt.Errorf("unknown set expression %T", e)
+	}
+}
+
+func validateSetChain(c *SetChain, s *hin.Schema) (hin.TypeID, error) {
+	segments := append([]string{c.TypeName}, c.Steps...)
+	p, err := metapath.FromNames(s, segments...)
+	if err != nil {
+		return hin.InvalidType, err
+	}
+	if err := p.Validate(s); err != nil {
+		return hin.InvalidType, err
+	}
+	elemType := p.Target()
+	if c.Where != nil {
+		name := c.Alias
+		if name == "" {
+			name = c.ElementType()
+		}
+		if err := validateCond(c.Where, name, elemType, s); err != nil {
+			return hin.InvalidType, err
+		}
+	}
+	return elemType, nil
+}
+
+func validateCond(cond Cond, alias string, elemType hin.TypeID, s *hin.Schema) error {
+	switch c := cond.(type) {
+	case *CondBinary:
+		if err := validateCond(c.Left, alias, elemType, s); err != nil {
+			return err
+		}
+		return validateCond(c.Right, alias, elemType, s)
+	case *CondNot:
+		return validateCond(c.Inner, alias, elemType, s)
+	case *CondCount:
+		if !strings.EqualFold(c.Alias, alias) {
+			return fmt.Errorf("COUNT references %q but the set is named %q", c.Alias, alias)
+		}
+		segments := append([]string{s.TypeName(elemType)}, c.Segments...)
+		p, err := metapath.FromNames(s, segments...)
+		if err != nil {
+			return err
+		}
+		return p.Validate(s)
+	default:
+		return fmt.Errorf("unknown condition %T", cond)
+	}
+}

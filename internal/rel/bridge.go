@@ -1,0 +1,195 @@
+package rel
+
+import (
+	"fmt"
+
+	"netout/internal/hin"
+)
+
+// BridgeConfig controls the relational→HIN conversion.
+type BridgeConfig struct {
+	// EntityTables lists tables that become vertex types; each entry names
+	// the column whose value labels the vertex (defaults to the primary
+	// key when NameColumn is ""). Foreign keys between entity tables
+	// become edges directly.
+	EntityTables []EntityTable
+	// JunctionTables lists pure many-to-many tables: each of their rows
+	// connects the entities referenced by two (or more) foreign keys. The
+	// junction rows themselves do not become vertices.
+	JunctionTables []string
+}
+
+// EntityTable selects a table for conversion to a vertex type.
+type EntityTable struct {
+	Table string
+	// NameColumn labels the vertices ("" = primary key). Labels must be
+	// unique within the table; the primary key is appended on collision.
+	NameColumn string
+}
+
+// ToHIN converts the database into a heterogeneous information network
+// under the given configuration. Vertex types are named after the entity
+// tables. For every foreign key from entity table A to entity table B, an
+// undirected A-B link type is allowed and instantiated per row. Junction
+// tables connect every pair of entities their rows reference.
+func ToHIN(db *DB, cfg BridgeConfig) (*hin.Graph, error) {
+	if len(cfg.EntityTables) == 0 {
+		return nil, fmt.Errorf("rel: bridge needs at least one entity table")
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+
+	entity := map[string]EntityTable{}
+	typeNames := make([]string, 0, len(cfg.EntityTables))
+	for _, et := range cfg.EntityTables {
+		t, ok := db.Table(et.Table)
+		if !ok {
+			return nil, fmt.Errorf("rel: entity table %q does not exist", et.Table)
+		}
+		if t.keyCol < 0 {
+			return nil, fmt.Errorf("rel: entity table %q needs a primary key", et.Table)
+		}
+		if et.NameColumn != "" {
+			if _, ok := t.colIdx[et.NameColumn]; !ok {
+				return nil, fmt.Errorf("rel: entity table %q has no column %q", et.Table, et.NameColumn)
+			}
+		}
+		if _, dup := entity[et.Table]; dup {
+			return nil, fmt.Errorf("rel: entity table %q listed twice", et.Table)
+		}
+		entity[et.Table] = et
+		typeNames = append(typeNames, et.Table)
+	}
+	schema, err := hin.NewSchema(typeNames...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Allow links for every FK between entity tables, and for every pair
+	// of entity FKs within a junction table.
+	typeOf := func(table string) (hin.TypeID, bool) { return schema.TypeByName(table) }
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		if _, isEntity := entity[name]; isEntity {
+			src, _ := typeOf(name)
+			for k := range t.fkCols {
+				if dst, ok := typeOf(t.fkRefs[k]); ok {
+					schema.AllowLink(src, dst)
+				}
+			}
+		}
+	}
+	for _, jname := range cfg.JunctionTables {
+		t, ok := db.Table(jname)
+		if !ok {
+			return nil, fmt.Errorf("rel: junction table %q does not exist", jname)
+		}
+		if _, isEntity := entity[jname]; isEntity {
+			return nil, fmt.Errorf("rel: table %q cannot be both entity and junction", jname)
+		}
+		var types []hin.TypeID
+		for k := range t.fkCols {
+			if tt, ok := typeOf(t.fkRefs[k]); ok {
+				types = append(types, tt)
+			}
+		}
+		if len(types) < 2 {
+			return nil, fmt.Errorf("rel: junction table %q references fewer than two entity tables", jname)
+		}
+		for i := 0; i < len(types); i++ {
+			for j := i + 1; j < len(types); j++ {
+				schema.AllowLink(types[i], types[j])
+			}
+		}
+	}
+
+	b := hin.NewBuilder(schema)
+
+	// Create vertices for every entity row.
+	vertexOf := map[string][]hin.VertexID{} // table -> row index -> vertex
+	for _, name := range typeNames {
+		t := db.tables[name]
+		et := entity[name]
+		tt, _ := typeOf(name)
+		ids := make([]hin.VertexID, len(t.rows))
+		seen := map[string]bool{}
+		for ri, row := range t.rows {
+			label := labelFor(t, et, row)
+			if seen[label] {
+				label = fmt.Sprintf("%s#%s", label, keyString(row[t.keyCol]))
+			}
+			seen[label] = true
+			v, err := b.AddVertex(tt, label)
+			if err != nil {
+				return nil, err
+			}
+			ids[ri] = v
+		}
+		vertexOf[name] = ids
+	}
+
+	// Edges from entity-table foreign keys.
+	for _, name := range typeNames {
+		t := db.tables[name]
+		for k, ci := range t.fkCols {
+			target, ok := db.Table(t.fkRefs[k])
+			if !ok || vertexOf[t.fkRefs[k]] == nil {
+				continue // FK to a non-entity table: no edge
+			}
+			for ri, row := range t.rows {
+				if row[ci] == nil {
+					continue
+				}
+				ti, _ := target.Lookup(row[ci])
+				if err := b.AddEdge(vertexOf[name][ri], vertexOf[t.fkRefs[k]][ti]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Edges from junction tables: connect every pair of referenced
+	// entities per row.
+	for _, jname := range cfg.JunctionTables {
+		t := db.tables[jname]
+		for _, row := range t.rows {
+			var ends []hin.VertexID
+			for k, ci := range t.fkCols {
+				target, ok := db.Table(t.fkRefs[k])
+				if !ok || vertexOf[t.fkRefs[k]] == nil || row[ci] == nil {
+					continue
+				}
+				ti, _ := target.Lookup(row[ci])
+				ends = append(ends, vertexOf[t.fkRefs[k]][ti])
+			}
+			for i := 0; i < len(ends); i++ {
+				for j := i + 1; j < len(ends); j++ {
+					if err := b.AddEdge(ends[i], ends[j]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+func labelFor(t *Table, et EntityTable, row []Value) string {
+	col := et.NameColumn
+	if col == "" {
+		col = t.def.Key
+	}
+	v := row[t.colIdx[col]]
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return fmt.Sprintf("%g", x)
+	case nil:
+		return fmt.Sprintf("row-%s", keyString(row[t.keyCol]))
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,77 @@
+package sparse
+
+import "sort"
+
+// DenseAccumulator is the alternative scratch structure for frontier
+// accumulation: a dense value array indexed by vertex ID plus a touched
+// list. Compared to the map-backed Accumulator it trades O(|V|) resident
+// memory and cache-unfriendly clearing for branch-free scatter adds.
+//
+// Measured trade-off (see BenchmarkAccumulators): the dense variant is
+// ~1.4-1.9× faster per scatter/drain cycle at every tested frontier size,
+// but it pins 8·|V| bytes per accumulator for the life of the traverser.
+// The engine creates one traverser per worker and graphs run to millions of
+// vertices, so the map remains the default; swap in the dense variant for
+// single-traverser batch jobs on mid-sized graphs. Both produce identical
+// vectors (property-tested).
+type DenseAccumulator struct {
+	val     []float64
+	touched []int32
+}
+
+// NewDenseAccumulator creates an accumulator for coordinate space [0, n).
+func NewDenseAccumulator(n int) *DenseAccumulator {
+	return &DenseAccumulator{val: make([]float64, n)}
+}
+
+// Add adds x at coordinate i. i must be < the constructed size.
+func (acc *DenseAccumulator) Add(i int32, x float64) {
+	if acc.val[i] == 0 && x != 0 {
+		acc.touched = append(acc.touched, i)
+	}
+	acc.val[i] += x
+}
+
+// AddVector adds w·v into the accumulator.
+func (acc *DenseAccumulator) AddVector(v Vector, w float64) {
+	for k := range v.Idx {
+		acc.Add(v.Idx[k], w*v.Val[k])
+	}
+}
+
+// Len reports the number of touched coordinates (including exact cancels).
+func (acc *DenseAccumulator) Len() int { return len(acc.touched) }
+
+// Take drains the accumulator into a sorted Vector and resets it for reuse.
+func (acc *DenseAccumulator) Take() Vector {
+	if len(acc.touched) == 0 {
+		return Vector{}
+	}
+	sort.Slice(acc.touched, func(i, j int) bool { return acc.touched[i] < acc.touched[j] })
+	out := Vector{
+		Idx: make([]int32, 0, len(acc.touched)),
+		Val: make([]float64, 0, len(acc.touched)),
+	}
+	prev := int32(-1)
+	for _, ix := range acc.touched {
+		if ix == prev {
+			continue // coordinate re-touched after cancelling to zero
+		}
+		prev = ix
+		if x := acc.val[ix]; x != 0 {
+			out.Idx = append(out.Idx, ix)
+			out.Val = append(out.Val, x)
+		}
+		acc.val[ix] = 0
+	}
+	acc.touched = acc.touched[:0]
+	return out
+}
+
+// Reset clears the accumulator without producing a vector.
+func (acc *DenseAccumulator) Reset() {
+	for _, ix := range acc.touched {
+		acc.val[ix] = 0
+	}
+	acc.touched = acc.touched[:0]
+}

@@ -1,0 +1,258 @@
+// Package sparse provides the small sparse-vector toolkit used to represent
+// meta-path neighbor vectors Φ_P(v) (Definition 7 of the paper) and to
+// evaluate the NetOut formula, Equation (1), with sparse dot products.
+//
+// Vectors are stored in sorted coordinate form: parallel slices of indices
+// and values with strictly increasing indices. This makes dot products,
+// sums and norms linear merges, keeps memory compact for index
+// pre-materialization, and supports exact byte accounting for the SPM index
+// size study (Figure 5b).
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse vector in sorted coordinate form. Idx is strictly
+// increasing; Val[i] is the value at coordinate Idx[i]. Zero values should
+// not be stored (the constructors drop them). The zero Vector is an empty
+// (all-zero) vector and is ready to use.
+type Vector struct {
+	Idx []int32
+	Val []float64
+}
+
+// New builds a Vector from unsorted coordinate pairs, combining duplicates
+// by addition and dropping zeros.
+func New(idx []int32, val []float64) (Vector, error) {
+	if len(idx) != len(val) {
+		return Vector{}, fmt.Errorf("sparse: index/value length mismatch (%d vs %d)", len(idx), len(val))
+	}
+	m := make(map[int32]float64, len(idx))
+	for i, ix := range idx {
+		m[ix] += val[i]
+	}
+	return FromMap(m), nil
+}
+
+// FromMap builds a Vector from a coordinate map, dropping zeros.
+func FromMap(m map[int32]float64) Vector {
+	v := Vector{
+		Idx: make([]int32, 0, len(m)),
+		Val: make([]float64, 0, len(m)),
+	}
+	for ix, x := range m {
+		if x != 0 {
+			v.Idx = append(v.Idx, ix)
+		}
+	}
+	sort.Slice(v.Idx, func(i, j int) bool { return v.Idx[i] < v.Idx[j] })
+	for _, ix := range v.Idx {
+		v.Val = append(v.Val, m[ix])
+	}
+	return v
+}
+
+// NNZ reports the number of stored (non-zero) coordinates.
+func (a Vector) NNZ() int { return len(a.Idx) }
+
+// IsZero reports whether the vector has no stored coordinates.
+func (a Vector) IsZero() bool { return len(a.Idx) == 0 }
+
+// At returns the value at coordinate i (0 if absent).
+func (a Vector) At(i int32) float64 {
+	k := sort.Search(len(a.Idx), func(k int) bool { return a.Idx[k] >= i })
+	if k < len(a.Idx) && a.Idx[k] == i {
+		return a.Val[k]
+	}
+	return 0
+}
+
+// Dot returns the inner product a·b by merging the two sorted index lists.
+func (a Vector) Dot(b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// Norm2Sq returns the squared Euclidean norm ‖a‖₂². For a neighbor vector
+// Φ_P(v) this equals the vertex's visibility κ(v,v) = |π_{PP⁻¹}(v,v)|.
+func (a Vector) Norm2Sq() float64 {
+	var s float64
+	for _, x := range a.Val {
+		s += x * x
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm ‖a‖₂.
+func (a Vector) Norm2() float64 { return math.Sqrt(a.Norm2Sq()) }
+
+// L1 returns the sum of absolute values ‖a‖₁. For a neighbor vector with
+// non-negative counts this is the total number of path instances from the
+// source vertex.
+func (a Vector) L1() float64 {
+	var s float64
+	for _, x := range a.Val {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Sum returns the plain coordinate sum Σᵢ aᵢ.
+func (a Vector) Sum() float64 {
+	var s float64
+	for _, x := range a.Val {
+		s += x
+	}
+	return s
+}
+
+// Scale returns s·a as a new vector. Scaling by zero yields the empty vector.
+func (a Vector) Scale(s float64) Vector {
+	if s == 0 {
+		return Vector{}
+	}
+	out := Vector{Idx: append([]int32(nil), a.Idx...), Val: make([]float64, len(a.Val))}
+	for i, x := range a.Val {
+		out.Val[i] = s * x
+	}
+	return out
+}
+
+// Normalize returns a/‖a‖₂, or the zero vector if a is zero.
+func (a Vector) Normalize() Vector {
+	n := a.Norm2()
+	if n == 0 {
+		return Vector{}
+	}
+	return a.Scale(1 / n)
+}
+
+// Add returns a+b as a new vector (linear merge; exact zeros are dropped).
+func Add(a, b Vector) Vector {
+	out := Vector{
+		Idx: make([]int32, 0, len(a.Idx)+len(b.Idx)),
+		Val: make([]float64, 0, len(a.Idx)+len(b.Idx)),
+	}
+	i, j := 0, 0
+	push := func(ix int32, x float64) {
+		if x != 0 {
+			out.Idx = append(out.Idx, ix)
+			out.Val = append(out.Val, x)
+		}
+	}
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			push(a.Idx[i], a.Val[i])
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			push(b.Idx[j], b.Val[j])
+			j++
+		default:
+			push(a.Idx[i], a.Val[i]+b.Val[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Idx); i++ {
+		push(a.Idx[i], a.Val[i])
+	}
+	for ; j < len(b.Idx); j++ {
+		push(b.Idx[j], b.Val[j])
+	}
+	return out
+}
+
+// Equal reports exact coordinate-wise equality.
+func (a Vector) Equal(b Vector) bool {
+	if len(a.Idx) != len(b.Idx) {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports coordinate-wise equality within an absolute tolerance,
+// treating absent coordinates as zero.
+func (a Vector) ApproxEqual(b Vector, tol float64) bool {
+	i, j := 0, 0
+	for i < len(a.Idx) || j < len(b.Idx) {
+		switch {
+		case j >= len(b.Idx) || (i < len(a.Idx) && a.Idx[i] < b.Idx[j]):
+			if math.Abs(a.Val[i]) > tol {
+				return false
+			}
+			i++
+		case i >= len(a.Idx) || a.Idx[i] > b.Idx[j]:
+			if math.Abs(b.Val[j]) > tol {
+				return false
+			}
+			j++
+		default:
+			if math.Abs(a.Val[i]-b.Val[j]) > tol {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (a Vector) Clone() Vector {
+	return Vector{
+		Idx: append([]int32(nil), a.Idx...),
+		Val: append([]float64(nil), a.Val...),
+	}
+}
+
+// Bytes reports the in-memory footprint of the stored coordinates (4 bytes
+// per index + 8 per value), used for the SPM index-size accounting of
+// Figure 5b.
+func (a Vector) Bytes() int { return len(a.Idx)*4 + len(a.Val)*8 }
+
+// String renders the vector like "{3:1 7:2.5}".
+func (a Vector) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := range a.Idx {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%g", a.Idx[i], a.Val[i])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Sum of a set of vectors, pairwise-merged. Used to form
+// S = Σ_{v∈Sr} Φ_P(v) in Equation (1).
+func Sum(vs []Vector) Vector {
+	acc := NewAccumulator(0)
+	for _, v := range vs {
+		acc.AddVector(v, 1)
+	}
+	return acc.Take()
+}

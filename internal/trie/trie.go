@@ -1,0 +1,169 @@
+// Package trie implements a byte-wise radix trie mapping strings to int32
+// payloads. Section 6.1 of the paper notes that vertex lookup by name "can
+// be naively implemented by a hash table, or a trie"; the hin package uses
+// hash maps on the hot path and this trie backs prefix queries in the CLI
+// (name completion) and serves as the alternative lookup backend.
+package trie
+
+import "sort"
+
+// NotFound is returned by Get for absent keys.
+const NotFound int32 = -1
+
+type node struct {
+	label    []byte // compressed edge label leading to this node
+	children []*node
+	value    int32
+	hasValue bool
+}
+
+// Trie maps byte strings to non-negative int32 values. The zero value is an
+// empty trie ready for use.
+type Trie struct {
+	root node
+	size int
+}
+
+// Len reports the number of keys stored.
+func (t *Trie) Len() int { return t.size }
+
+// Put inserts or replaces key with value. Values must be non-negative
+// (NotFound is reserved). It reports whether the key was newly inserted.
+func (t *Trie) Put(key string, value int32) bool {
+	if value < 0 {
+		panic("trie: negative values are reserved")
+	}
+	n := &t.root
+	k := []byte(key)
+	for {
+		if len(k) == 0 {
+			if !n.hasValue {
+				n.hasValue = true
+				t.size++
+				n.value = value
+				return true
+			}
+			n.value = value
+			return false
+		}
+		child := n.findChild(k[0])
+		if child == nil {
+			n.addChild(&node{label: append([]byte(nil), k...), value: value, hasValue: true})
+			t.size++
+			return true
+		}
+		common := commonPrefix(child.label, k)
+		if common == len(child.label) {
+			// Full edge match: descend.
+			n, k = child, k[common:]
+			continue
+		}
+		// Split the edge at the divergence point.
+		rest := &node{
+			label:    append([]byte(nil), child.label[common:]...),
+			children: child.children,
+			value:    child.value,
+			hasValue: child.hasValue,
+		}
+		child.label = child.label[:common]
+		child.children = []*node{rest}
+		child.hasValue = false
+		child.value = 0
+		n, k = child, k[common:]
+	}
+}
+
+// Get returns the value stored for key, or NotFound.
+func (t *Trie) Get(key string) int32 {
+	n := t.lookup(key)
+	if n == nil || !n.hasValue {
+		return NotFound
+	}
+	return n.value
+}
+
+// Contains reports whether key is present.
+func (t *Trie) Contains(key string) bool {
+	n := t.lookup(key)
+	return n != nil && n.hasValue
+}
+
+func (t *Trie) lookup(key string) *node {
+	n := &t.root
+	k := []byte(key)
+	for len(k) > 0 {
+		child := n.findChild(k[0])
+		if child == nil || commonPrefix(child.label, k) != len(child.label) {
+			return nil
+		}
+		n, k = child, k[len(child.label):]
+	}
+	return n
+}
+
+// WithPrefix returns all (key, value) pairs whose key starts with prefix,
+// in lexicographic key order.
+func (t *Trie) WithPrefix(prefix string) (keys []string, values []int32) {
+	n := &t.root
+	k := []byte(prefix)
+	acc := []byte(nil)
+	for len(k) > 0 {
+		child := n.findChild(k[0])
+		if child == nil {
+			return nil, nil
+		}
+		common := commonPrefix(child.label, k)
+		if common == len(k) {
+			// Prefix ends inside this edge; the whole subtree matches.
+			acc = append(acc, child.label...)
+			n, k = child, nil
+			break
+		}
+		if common != len(child.label) {
+			return nil, nil
+		}
+		acc = append(acc, child.label...)
+		n, k = child, k[common:]
+	}
+	n.walk(acc, func(key []byte, v int32) {
+		keys = append(keys, string(key))
+		values = append(values, v)
+	})
+	return keys, values
+}
+
+func (n *node) walk(prefix []byte, fn func(key []byte, v int32)) {
+	if n.hasValue {
+		fn(prefix, n.value)
+	}
+	for _, c := range n.children {
+		c.walk(append(prefix, c.label...), fn)
+	}
+}
+
+func (n *node) findChild(b byte) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].label[0] >= b })
+	if i < len(n.children) && n.children[i].label[0] == b {
+		return n.children[i]
+	}
+	return nil
+}
+
+func (n *node) addChild(c *node) {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].label[0] >= c.label[0] })
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,157 @@
+package trie
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	var tr Trie
+	keys := []string{"", "a", "ab", "abc", "abd", "b", "banana", "band", "bandana"}
+	for i, k := range keys {
+		if !tr.Put(k, int32(i)) {
+			t.Fatalf("Put(%q) reported existing", k)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	for i, k := range keys {
+		if got := tr.Get(k); got != int32(i) {
+			t.Fatalf("Get(%q) = %d, want %d", k, got, i)
+		}
+		if !tr.Contains(k) {
+			t.Fatalf("Contains(%q) = false", k)
+		}
+	}
+	for _, k := range []string{"c", "ban", "bandanas", "abcd", "x"} {
+		if tr.Get(k) != NotFound {
+			t.Errorf("Get(%q) should be NotFound", k)
+		}
+		if tr.Contains(k) {
+			t.Errorf("Contains(%q) should be false", k)
+		}
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	var tr Trie
+	tr.Put("k", 1)
+	if tr.Put("k", 2) {
+		t.Fatal("second Put should report existing key")
+	}
+	if tr.Get("k") != 2 || tr.Len() != 1 {
+		t.Fatal("replacement failed")
+	}
+}
+
+func TestPutNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative value should panic")
+		}
+	}()
+	var tr Trie
+	tr.Put("k", -1)
+}
+
+func TestWithPrefix(t *testing.T) {
+	var tr Trie
+	data := map[string]int32{
+		"christos":  1,
+		"christine": 2,
+		"chris":     3,
+		"clara":     4,
+		"zoe":       5,
+	}
+	for k, v := range data {
+		tr.Put(k, v)
+	}
+	keys, vals := tr.WithPrefix("chris")
+	if len(keys) != 3 {
+		t.Fatalf("WithPrefix(chris) = %v", keys)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	for i, k := range keys {
+		if vals[i] != data[k] {
+			t.Fatalf("value mismatch for %q", k)
+		}
+	}
+	keys, _ = tr.WithPrefix("")
+	if len(keys) != len(data) {
+		t.Fatalf("WithPrefix('') = %v", keys)
+	}
+	if keys, _ := tr.WithPrefix("nosuch"); keys != nil {
+		t.Fatalf("WithPrefix(nosuch) = %v", keys)
+	}
+	if keys, _ := tr.WithPrefix("christopher"); keys != nil {
+		t.Fatalf("prefix longer than any key should be empty, got %v", keys)
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Trie
+		ref := make(map[string]int32)
+		alphabet := "abc"
+		for i := 0; i < 200; i++ {
+			n := r.Intn(6)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = alphabet[r.Intn(len(alphabet))]
+			}
+			k := string(b)
+			v := int32(r.Intn(1000))
+			_, existed := ref[k]
+			inserted := tr.Put(k, v)
+			if inserted == existed {
+				return false
+			}
+			ref[k] = v
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if tr.Get(k) != v {
+				return false
+			}
+		}
+		// Probe some absent keys.
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("zz%d", i)
+			if tr.Get(k) != NotFound {
+				return false
+			}
+		}
+		// Prefix enumeration matches the reference map.
+		for _, prefix := range []string{"", "a", "ab", "abc", "b", "ca"} {
+			keys, vals := tr.WithPrefix(prefix)
+			var want []string
+			for k := range ref {
+				if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+					want = append(want, k)
+				}
+			}
+			sort.Strings(want)
+			if len(keys) != len(want) {
+				return false
+			}
+			for i := range keys {
+				if keys[i] != want[i] || vals[i] != ref[keys[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package walk implements the random-walk similarity measures the paper
+// contrasts PathSim with in Section 5.2 — Personalized PageRank (random
+// walk with restart) and SimRank — plus outlier scores built on them, so
+// the measure comparison of Table 3 can be extended to the full family of
+// network similarities.
+package walk
+
+import (
+	"fmt"
+	"math"
+
+	"netout/internal/hin"
+	"netout/internal/sparse"
+)
+
+// PPROptions configures Personalized PageRank.
+type PPROptions struct {
+	// Alpha is the restart probability (default 0.15).
+	Alpha float64
+	// MaxIter bounds power iterations (default 50).
+	MaxIter int
+	// Tol stops iteration when the L1 change drops below it (default 1e-9).
+	Tol float64
+}
+
+func (o *PPROptions) defaults() {
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = 0.15
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+}
+
+// PPR computes the Personalized PageRank vector of a random walk with
+// restart at source: at each step the walker restarts with probability
+// Alpha, otherwise moves to a neighbor chosen proportionally to edge
+// multiplicity (across all neighbor types). Dead-end mass returns to the
+// source. The result sums to 1.
+func PPR(g *hin.Graph, source hin.VertexID, opts PPROptions) (sparse.Vector, error) {
+	if !g.Valid(source) {
+		return sparse.Vector{}, fmt.Errorf("walk: source vertex %d out of range", source)
+	}
+	opts.defaults()
+	nt := g.Schema().NumTypes()
+
+	cur := map[int32]float64{int32(source): 1}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		next := make(map[int32]float64, len(cur)*2)
+		next[int32(source)] += opts.Alpha
+		for vi, p := range cur {
+			v := hin.VertexID(vi)
+			// Total outgoing weight across all neighbor types.
+			var totalW float64
+			for t := 0; t < nt; t++ {
+				_, mults := g.Neighbors(v, hin.TypeID(t))
+				for _, m := range mults {
+					totalW += float64(m)
+				}
+			}
+			spread := (1 - opts.Alpha) * p
+			if totalW == 0 {
+				// Dead end: return the mass to the source.
+				next[int32(source)] += spread
+				continue
+			}
+			for t := 0; t < nt; t++ {
+				nbrs, mults := g.Neighbors(v, hin.TypeID(t))
+				for i, u := range nbrs {
+					next[int32(u)] += spread * float64(mults[i]) / totalW
+				}
+			}
+		}
+		// L1 change.
+		var diff float64
+		for k, x := range next {
+			diff += math.Abs(x - cur[k])
+		}
+		for k, x := range cur {
+			if _, ok := next[k]; !ok {
+				diff += math.Abs(x)
+			}
+		}
+		cur = next
+		if diff < opts.Tol {
+			break
+		}
+	}
+	return sparse.FromMap(cur), nil
+}
+
+// PPROutlierScores scores candidates the NetOut way but with Personalized
+// PageRank as the similarity: Ω(vi) = Σ_{vj∈Sr} ppr_vi(vj). Smaller means
+// more outlying. The per-candidate walk makes this O(|Sc|·walk); it is a
+// comparison baseline, not a production path.
+func PPROutlierScores(g *hin.Graph, cands, refs []hin.VertexID, opts PPROptions) ([]float64, error) {
+	refSet := make(map[int32]bool, len(refs))
+	for _, r := range refs {
+		refSet[int32(r)] = true
+	}
+	out := make([]float64, len(cands))
+	for i, v := range cands {
+		ppr, err := PPR(g, v, opts)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for k, ix := range ppr.Idx {
+			if refSet[ix] {
+				sum += ppr.Val[k]
+			}
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// SimRankOptions configures SimRank.
+type SimRankOptions struct {
+	// C is the decay factor (default 0.8).
+	C float64
+	// Iterations is the number of fixed-point iterations (default 5).
+	Iterations int
+	// MaxVertices guards the O(n²) memory (default 4096).
+	MaxVertices int
+}
+
+func (o *SimRankOptions) defaults() {
+	if o.C <= 0 || o.C >= 1 {
+		o.C = 0.8
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 5
+	}
+	if o.MaxVertices <= 0 {
+		o.MaxVertices = 4096
+	}
+}
+
+// SimRankMatrix holds pairwise SimRank scores for a whole graph.
+type SimRankMatrix struct {
+	n    int
+	vals []float64
+}
+
+// At returns s(a, b).
+func (m *SimRankMatrix) At(a, b hin.VertexID) float64 {
+	return m.vals[int(a)*m.n+int(b)]
+}
+
+// SimRank computes the classic iterative SimRank fixed point over the
+// whole graph: s(a,a)=1 and
+//
+//	s(a,b) = C/(|I(a)|·|I(b)|) · Σ_{i∈I(a)} Σ_{j∈I(b)} s(i,j)
+//
+// with neighbors drawn across all types (edge multiplicities weight the
+// neighbor sets implicitly by repetition). The dense O(n²) state restricts
+// it to modest graphs (MaxVertices guard); the paper's use of SimRank is as
+// a point of comparison, not a scalable engine.
+func SimRank(g *hin.Graph, opts SimRankOptions) (*SimRankMatrix, error) {
+	opts.defaults()
+	n := g.NumVertices()
+	if n > opts.MaxVertices {
+		return nil, fmt.Errorf("walk: SimRank needs O(n²) memory; graph has %d vertices (max %d)",
+			n, opts.MaxVertices)
+	}
+	nt := g.Schema().NumTypes()
+	// Flatten each vertex's neighbor list (with multiplicity repetition).
+	nbrs := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for t := 0; t < nt; t++ {
+			ns, ms := g.Neighbors(hin.VertexID(v), hin.TypeID(t))
+			for i, u := range ns {
+				for k := int32(0); k < ms[i]; k++ {
+					nbrs[v] = append(nbrs[v], int32(u))
+				}
+			}
+		}
+	}
+	cur := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for v := 0; v < n; v++ {
+		cur[v*n+v] = 1
+	}
+	for iter := 0; iter < opts.Iterations; iter++ {
+		for a := 0; a < n; a++ {
+			next[a*n+a] = 1
+			for b := a + 1; b < n; b++ {
+				na, nb := nbrs[a], nbrs[b]
+				var s float64
+				if len(na) > 0 && len(nb) > 0 {
+					var sum float64
+					for _, i := range na {
+						row := int(i) * n
+						for _, j := range nb {
+							sum += cur[row+int(j)]
+						}
+					}
+					s = opts.C * sum / float64(len(na)*len(nb))
+				}
+				next[a*n+b] = s
+				next[b*n+a] = s
+			}
+		}
+		cur, next = next, cur
+	}
+	return &SimRankMatrix{n: n, vals: cur}, nil
+}
+
+// SimRankOutlierScores scores candidates as Ω(vi) = Σ_{vj∈Sr} s(vi, vj).
+// Smaller means more outlying.
+func SimRankOutlierScores(m *SimRankMatrix, cands, refs []hin.VertexID) []float64 {
+	out := make([]float64, len(cands))
+	for i, v := range cands {
+		var sum float64
+		for _, r := range refs {
+			sum += m.At(v, r)
+		}
+		out[i] = sum
+	}
+	return out
+}

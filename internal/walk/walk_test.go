@@ -1,0 +1,283 @@
+package walk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+)
+
+// pairGraph builds a path graph a-b-c in a single-type schema.
+func pairGraph(t *testing.T) (*hin.Graph, []hin.VertexID) {
+	t.Helper()
+	s := hin.MustSchema("node")
+	n, _ := s.TypeByName("node")
+	s.AllowLink(n, n)
+	b := hin.NewBuilder(s)
+	va := b.MustAddVertex(n, "a")
+	vb := b.MustAddVertex(n, "b")
+	vc := b.MustAddVertex(n, "c")
+	b.MustAddEdge(va, vb)
+	b.MustAddEdge(vb, vc)
+	return b.Build(), []hin.VertexID{va, vb, vc}
+}
+
+func bibGraph(t *testing.T) (*hin.Graph, map[string]hin.VertexID) {
+	t.Helper()
+	s := hin.MustSchema("author", "paper", "venue")
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	v, _ := s.TypeByName("venue")
+	s.AllowLink(p, a)
+	s.AllowLink(p, v)
+	b := hin.NewBuilder(s)
+	ids := map[string]hin.VertexID{}
+	for _, n := range []string{"Ann", "Ben", "Eve"} {
+		ids[n] = b.MustAddVertex(a, n)
+	}
+	for _, n := range []string{"KDD", "SIGGRAPH"} {
+		ids[n] = b.MustAddVertex(v, n)
+	}
+	paper := func(name string, venue string, authors ...string) {
+		pp := b.MustAddVertex(p, name)
+		b.MustAddEdge(pp, ids[venue])
+		for _, au := range authors {
+			b.MustAddEdge(pp, ids[au])
+		}
+	}
+	paper("p1", "KDD", "Ann", "Ben")
+	paper("p2", "KDD", "Ann", "Ben")
+	paper("p3", "KDD", "Ben")
+	paper("p4", "SIGGRAPH", "Eve")
+	paper("p5", "SIGGRAPH", "Eve")
+	return b.Build(), ids
+}
+
+func TestPPRBasics(t *testing.T) {
+	g, vs := pairGraph(t)
+	ppr, err := PPR(g, vs[0], PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ppr.Sum()-1) > 1e-6 {
+		t.Fatalf("PPR mass = %g, want 1", ppr.Sum())
+	}
+	// The source holds at least the restart probability.
+	if ppr.At(int32(vs[0])) < 0.15 {
+		t.Fatalf("source mass = %g", ppr.At(int32(vs[0])))
+	}
+	// Adjacent vertex outranks the two-hop vertex.
+	if ppr.At(int32(vs[1])) <= ppr.At(int32(vs[2])) {
+		t.Fatalf("PPR ordering wrong: %v", ppr)
+	}
+	if _, err := PPR(g, hin.VertexID(99), PPROptions{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestPPRIsolatedVertex(t *testing.T) {
+	s := hin.MustSchema("node")
+	n, _ := s.TypeByName("node")
+	s.AllowLink(n, n)
+	b := hin.NewBuilder(s)
+	v := b.MustAddVertex(n, "alone")
+	g := b.Build()
+	ppr, err := PPR(g, v, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All mass stays at the dead-end source.
+	if math.Abs(ppr.At(int32(v))-1) > 1e-9 || ppr.NNZ() != 1 {
+		t.Fatalf("isolated PPR = %v", ppr)
+	}
+}
+
+func TestPPROutlierScores(t *testing.T) {
+	g, ids := bibGraph(t)
+	cands := []hin.VertexID{ids["Ann"], ids["Ben"], ids["Eve"]}
+	scores, err := PPROutlierScores(g, cands, cands, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eve is structurally separated from Ann/Ben: her total PPR mass on the
+	// author reference set must be the lowest.
+	if !(scores[2] < scores[0] && scores[2] < scores[1]) {
+		t.Fatalf("PPR outlier scores = %v, Eve should be lowest", scores)
+	}
+}
+
+func TestSimRankBasics(t *testing.T) {
+	g, ids := bibGraph(t)
+	m, err := SimRank(g, SimRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self similarity is 1.
+	for _, v := range []string{"Ann", "Ben", "Eve", "KDD"} {
+		if got := m.At(ids[v], ids[v]); got != 1 {
+			t.Fatalf("s(%s,%s) = %g", v, v, got)
+		}
+	}
+	// Symmetry.
+	if m.At(ids["Ann"], ids["Ben"]) != m.At(ids["Ben"], ids["Ann"]) {
+		t.Fatal("SimRank not symmetric")
+	}
+	// Ann and Ben share two papers; Ann and Eve share nothing structural
+	// below two hops: s(Ann,Ben) must dominate s(Ann,Eve).
+	if m.At(ids["Ann"], ids["Ben"]) <= m.At(ids["Ann"], ids["Eve"]) {
+		t.Fatalf("s(Ann,Ben)=%g should exceed s(Ann,Eve)=%g",
+			m.At(ids["Ann"], ids["Ben"]), m.At(ids["Ann"], ids["Eve"]))
+	}
+	// Scores live in [0,1].
+	for a := 0; a < g.NumVertices(); a++ {
+		for b := 0; b < g.NumVertices(); b++ {
+			s := m.At(hin.VertexID(a), hin.VertexID(b))
+			if s < 0 || s > 1+1e-9 {
+				t.Fatalf("s(%d,%d) = %g out of range", a, b, s)
+			}
+		}
+	}
+}
+
+func TestSimRankGuard(t *testing.T) {
+	g, _ := bibGraph(t)
+	if _, err := SimRank(g, SimRankOptions{MaxVertices: 2}); err == nil {
+		t.Error("MaxVertices guard did not trip")
+	}
+}
+
+func TestSimRankOutlierScores(t *testing.T) {
+	g, ids := bibGraph(t)
+	m, err := SimRank(g, SimRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []hin.VertexID{ids["Ann"], ids["Ben"], ids["Eve"]}
+	scores := SimRankOutlierScores(m, cands, cands)
+	if !(scores[2] < scores[0] && scores[2] < scores[1]) {
+		t.Fatalf("SimRank outlier scores = %v, Eve should be lowest", scores)
+	}
+}
+
+// PPR mass conservation and non-negativity hold on random graphs.
+func TestQuickPPRStochastic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := hin.MustSchema("x", "y")
+		tx, _ := s.TypeByName("x")
+		ty, _ := s.TypeByName("y")
+		s.AllowLink(tx, ty)
+		s.AllowLink(tx, tx)
+		b := hin.NewBuilder(s)
+		var all []hin.VertexID
+		for i := 0; i < 4+r.Intn(6); i++ {
+			all = append(all, b.MustAddVertex(tx, fmt.Sprintf("x%d", i)))
+		}
+		for i := 0; i < 3+r.Intn(5); i++ {
+			all = append(all, b.MustAddVertex(ty, fmt.Sprintf("y%d", i)))
+		}
+		for i := 0; i < 12; i++ {
+			a := all[r.Intn(len(all))]
+			c := all[r.Intn(len(all))]
+			_ = b.AddEdgeMult(a, c, int32(1+r.Intn(2))) // schema may reject y-y; fine
+		}
+		g := b.Build()
+		src := all[r.Intn(len(all))]
+		ppr, err := PPR(g, src, PPROptions{MaxIter: 80})
+		if err != nil {
+			return false
+		}
+		if math.Abs(ppr.Sum()-1) > 1e-4 {
+			return false
+		}
+		for _, x := range ppr.Val {
+			if x < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPPRMetaPath(t *testing.T) {
+	g, ids := bibGraph(t)
+	p, err := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppr, err := PPRMetaPath(g, p, ids["Ann"], PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ppr.Sum()-1) > 1e-6 {
+		t.Fatalf("mass = %g", ppr.Sum())
+	}
+	// The walk is constrained to author vertices.
+	authorT, _ := g.Schema().TypeByName("author")
+	for _, ix := range ppr.Idx {
+		if g.Type(hin.VertexID(ix)) != authorT {
+			t.Fatalf("walk left the source type: vertex %d", ix)
+		}
+	}
+	// Ann reaches Ben (shared venue) far more than Eve (disjoint venues).
+	if ppr.At(int32(ids["Ben"])) <= ppr.At(int32(ids["Eve"])) {
+		t.Fatalf("constrained walk ordering wrong: %v", ppr)
+	}
+
+	// Errors.
+	if _, err := PPRMetaPath(g, metapath.Path{}, ids["Ann"], PPROptions{}); err == nil {
+		t.Error("zero path accepted")
+	}
+	if _, err := PPRMetaPath(g, p, hin.VertexID(9999), PPROptions{}); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := PPRMetaPath(g, p, ids["KDD"], PPROptions{}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	bad, _ := metapath.FromNames(g.Schema(), "author", "venue")
+	if _, err := PPRMetaPath(g, bad, ids["Ann"], PPROptions{}); err == nil {
+		t.Error("schema-invalid path accepted")
+	}
+}
+
+func TestPPRMetaPathDeadEnd(t *testing.T) {
+	// An author with no papers has no symmetric-path continuation: all the
+	// walk's mass must stay at the source.
+	s := hin.MustSchema("author", "paper", "venue")
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	v, _ := s.TypeByName("venue")
+	s.AllowLink(p, a)
+	s.AllowLink(p, v)
+	b := hin.NewBuilder(s)
+	hermit := b.MustAddVertex(a, "hermit")
+	g := b.Build()
+	path, _ := metapath.FromNames(g.Schema(), "author", "paper", "venue")
+	ppr, err := PPRMetaPath(g, path, hermit, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ppr.At(int32(hermit))-1) > 1e-9 {
+		t.Fatalf("dead-end mass = %v", ppr)
+	}
+}
+
+func TestPPRMetaPathOutlierScores(t *testing.T) {
+	g, ids := bibGraph(t)
+	p, _ := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	cands := []hin.VertexID{ids["Ann"], ids["Ben"], ids["Eve"]}
+	scores, err := PPRMetaPathOutlierScores(g, p, cands, cands, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(scores[2] < scores[0] && scores[2] < scores[1]) {
+		t.Fatalf("Eve should be the constrained-walk outlier: %v", scores)
+	}
+}

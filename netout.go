@@ -1,0 +1,597 @@
+// Package netout is a query-based outlier detection system for
+// heterogeneous information networks, implementing Kuck, Zhuang, Yan, Cam
+// and Han, "Query-Based Outlier Detection in Heterogeneous Information
+// Networks" (EDBT 2015).
+//
+// A heterogeneous information network (HIN) has typed vertices (papers,
+// authors, venues, ...) and typed links. Outliers in such a network are
+// relative to a user's viewpoint, so the system is driven by declarative
+// queries:
+//
+//	FIND OUTLIERS
+//	FROM author{"Christos Faloutsos"}.paper.author  // candidate set
+//	COMPARED TO venue{"KDD"}.paper.author           // reference set (optional)
+//	JUDGED BY author.paper.venue : 2.0              // weighted feature meta-paths
+//	TOP 10;
+//
+// Candidates are ranked by the NetOut measure: the sum over the reference
+// set of normalized connectivity, the number of symmetric meta-path
+// instances linking a candidate to each reference vertex, normalized by the
+// candidate's own visibility. PathSim- and cosine-based variants are
+// provided for comparison, plus LOF and kNN-distance baselines.
+//
+// Basic usage:
+//
+//	schema := netout.MustSchema("author", "paper", "venue", "term")
+//	// ... allow links, build the graph with netout.NewBuilder(schema) ...
+//	eng := netout.NewEngine(g)
+//	res, err := eng.Execute(`FIND OUTLIERS FROM ... JUDGED BY ... TOP 10;`)
+//
+// For low query latency the engine can pre-materialize length-2 meta-path
+// neighbor vectors for every vertex (PM) or only for vertices that appear
+// frequently in a query workload (SPM):
+//
+//	eng := netout.NewEngine(g, netout.WithMaterializer(netout.NewPM(g)))
+package netout
+
+import (
+	"io"
+
+	"netout/internal/aminer"
+	"netout/internal/core"
+	"netout/internal/eval"
+	"netout/internal/gen"
+	"netout/internal/hin"
+	"netout/internal/hinio"
+	"netout/internal/kg"
+	"netout/internal/lof"
+	"netout/internal/metapath"
+	"netout/internal/oql"
+	"netout/internal/rel"
+	"netout/internal/sparse"
+	"netout/internal/walk"
+)
+
+// ---------------------------------------------------------------------------
+// Network types
+
+// Core network types, re-exported from the graph substrate.
+type (
+	// Graph is an immutable heterogeneous information network.
+	Graph = hin.Graph
+	// Schema declares vertex types and which links are allowed.
+	Schema = hin.Schema
+	// TypeID identifies a vertex type within a Schema.
+	TypeID = hin.TypeID
+	// VertexID identifies a vertex in a Graph.
+	VertexID = hin.VertexID
+	// Builder accumulates vertices and edges and produces a Graph.
+	Builder = hin.Builder
+	// GraphStats summarizes a Graph.
+	GraphStats = hin.Stats
+)
+
+// InvalidVertex is returned by lookups for unknown vertices.
+const InvalidVertex = hin.InvalidVertex
+
+// NewSchema creates a schema with the given vertex type names.
+func NewSchema(typeNames ...string) (*Schema, error) { return hin.NewSchema(typeNames...) }
+
+// MustSchema is NewSchema panicking on error, for statically-known schemas.
+func MustSchema(typeNames ...string) *Schema { return hin.MustSchema(typeNames...) }
+
+// NewBuilder creates a graph builder for the given schema.
+func NewBuilder(schema *Schema) *Builder { return hin.NewBuilder(schema) }
+
+// ---------------------------------------------------------------------------
+// Meta-paths
+
+// MetaPath is an ordered sequence of vertex types, e.g. (author paper venue).
+type MetaPath = metapath.Path
+
+// ParseMetaPath parses the dotted form "author.paper.venue" against a schema.
+func ParseMetaPath(s *Schema, dotted string) (MetaPath, error) {
+	return metapath.ParseDotted(s, dotted)
+}
+
+// NewMetaPath builds a meta-path by resolving type names against a schema.
+func NewMetaPath(s *Schema, typeNames ...string) (MetaPath, error) {
+	return metapath.FromNames(s, typeNames...)
+}
+
+// Traverser materializes meta-path neighbor vectors by network traversal.
+type Traverser = metapath.Traverser
+
+// NewTraverser creates a traverser over g.
+func NewTraverser(g *Graph) *Traverser { return metapath.NewTraverser(g) }
+
+// Vector is a sparse neighbor vector Φ_P(v): coordinate u holds the number
+// of meta-path instances from v to vertex u.
+type Vector = sparse.Vector
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// Query is a parsed FIND OUTLIERS statement.
+type Query = oql.Query
+
+// SyntaxError reports a lexical or parse error with its source position.
+type SyntaxError = oql.SyntaxError
+
+// ParseQuery parses an outlier query:
+//
+//	FIND OUTLIERS FROM ... [COMPARED TO ...] JUDGED BY ... [TOP n];
+func ParseQuery(src string) (*Query, error) { return oql.Parse(src) }
+
+// ValidateQuery checks a parsed query against a schema and returns the
+// element type of its candidate set.
+func ValidateQuery(q *Query, s *Schema) (TypeID, error) { return oql.Validate(q, s) }
+
+// ---------------------------------------------------------------------------
+// Engine, measures and strategies
+
+// Engine executes outlier queries. Configure with WithMeasure and
+// WithMaterializer.
+type Engine = core.Engine
+
+// EngineOption configures an Engine.
+type EngineOption = core.Option
+
+// Result is a ranked query outcome; Entry is one ranked outlier; Timing is
+// the per-query cost breakdown.
+type (
+	Result = core.Result
+	Entry  = core.Entry
+	Timing = core.Timing
+)
+
+// Measure selects the outlierness formula; smaller scores are more outlying.
+type Measure = core.Measure
+
+// The available outlierness measures.
+const (
+	MeasureNetOut  = core.MeasureNetOut
+	MeasurePathSim = core.MeasurePathSim
+	MeasureCosSim  = core.MeasureCosSim
+)
+
+// ParseMeasure resolves "netout", "pathsim" or "cossim".
+func ParseMeasure(name string) (Measure, error) { return core.ParseMeasure(name) }
+
+// Strategy identifies a materialization strategy.
+type Strategy = core.Strategy
+
+// The available materialization strategies.
+const (
+	StrategyBaseline = core.StrategyBaseline
+	StrategyPM       = core.StrategyPM
+	StrategySPM      = core.StrategySPM
+	StrategyCached   = core.StrategyCached
+)
+
+// Materializer produces meta-path neighbor vectors, possibly from an index.
+type Materializer = core.Materializer
+
+// MaterializerStats accumulates indexed vs traversed cost counters.
+type MaterializerStats = core.MatStats
+
+// SPMConfig configures selective pre-materialization.
+type SPMConfig = core.SPMConfig
+
+// NewEngine creates a query engine over g (default: NetOut measure,
+// baseline materialization).
+func NewEngine(g *Graph, opts ...EngineOption) *Engine { return core.NewEngine(g, opts...) }
+
+// WithMeasure selects the outlierness measure.
+func WithMeasure(m Measure) EngineOption { return core.WithMeasure(m) }
+
+// WithMaterializer selects the materialization strategy.
+func WithMaterializer(m Materializer) EngineOption { return core.WithMaterializer(m) }
+
+// NewBaseline returns the traversal-only materializer.
+func NewBaseline(g *Graph) Materializer { return core.NewBaseline(g) }
+
+// NewPM pre-materializes all length-2 meta-path neighbor vectors.
+func NewPM(g *Graph) Materializer { return core.NewPM(g) }
+
+// NewPMPaths pre-materializes only the given length-2 meta-paths.
+func NewPMPaths(g *Graph, paths []MetaPath) Materializer { return core.NewPMPaths(g, paths) }
+
+// NewSPM selectively pre-materializes for vertices whose relative frequency
+// across the initialization queries' candidate sets reaches cfg.Threshold.
+func NewSPM(g *Graph, initQueries []string, cfg SPMConfig) (Materializer, error) {
+	return core.NewSPM(g, initQueries, cfg)
+}
+
+// NewSPMVertices builds SPM with an explicit pre-selected vertex set.
+func NewSPMVertices(g *Graph, vertices []VertexID) Materializer {
+	return core.NewSPMVertices(g, vertices)
+}
+
+// NewCached returns a materializer that memoizes neighbor vectors in an
+// LRU cache bounded to maxBytes: no offline indexing phase, but repeated
+// workloads approach PM speed for their hot vertices.
+func NewCached(g *Graph, maxBytes int64) (Materializer, error) {
+	return core.NewCached(g, maxBytes)
+}
+
+// CacheStats reports hit/miss/eviction counters of a cached materializer.
+type CacheStats = core.CacheStats
+
+// CacheStatsOf extracts cache counters from a NewCached materializer.
+func CacheStatsOf(m Materializer) (CacheStats, bool) { return core.CacheStatsOf(m) }
+
+// NewPMParallel builds the PM index with a worker pool; the result is
+// identical to NewPM's.
+func NewPMParallel(g *Graph, workers int) Materializer { return core.NewPMParallel(g, workers) }
+
+// SaveIndex / LoadIndex persist a pre-materialized PM or SPM index so the
+// offline indexing phase can be shipped to query servers. The index must be
+// loaded against the same graph it was built from.
+func SaveIndex(m Materializer, w io.Writer) error { return core.SaveIndex(m, w) }
+
+// LoadIndex reads an index written by SaveIndex.
+func LoadIndex(g *Graph, r io.Reader) (Materializer, error) { return core.LoadIndex(g, r) }
+
+// SaveIndexFile writes an index to a file.
+func SaveIndexFile(m Materializer, path string) error { return core.SaveIndexFile(m, path) }
+
+// LoadIndexFile reads an index from a file.
+func LoadIndexFile(g *Graph, path string) (Materializer, error) {
+	return core.LoadIndexFile(g, path)
+}
+
+// Histogram is a binned view of a score distribution; render with
+// Histogram.Render (Section 8's visualization extension).
+type Histogram = core.Histogram
+
+// NewHistogram bins the finite values among scores.
+func NewHistogram(scores []float64, bins int) (*Histogram, error) {
+	return core.NewHistogram(scores, bins)
+}
+
+// Combination selects how multiple feature meta-paths combine into one
+// score: averaged per-path scores or concatenated connectivity.
+type Combination = core.Combination
+
+// The available multi-path combination modes.
+const (
+	CombineAverage = core.CombineAverage
+	CombineConcat  = core.CombineConcat
+)
+
+// ParseCombination resolves "average" or "concat".
+func ParseCombination(name string) (Combination, error) { return core.ParseCombination(name) }
+
+// WithCombination selects the multi-path combination mode.
+func WithCombination(c Combination) EngineOption { return core.WithCombination(c) }
+
+// Progressive execution (approximate top-k with confidences while the query
+// is being processed — the Section 8 extension).
+type (
+	ProgressiveOptions  = core.ProgressiveOptions
+	ProgressiveSnapshot = core.ProgressiveSnapshot
+	ProgressiveEstimate = core.ProgressiveEstimate
+)
+
+// StopWhenStable builds an OnSnapshot callback that stops a progressive
+// query once the top-k identity is unchanged for the given number of
+// consecutive snapshots.
+func StopWhenStable(k, rounds int, inner func(ProgressiveSnapshot) bool) func(ProgressiveSnapshot) bool {
+	return core.StopWhenStable(k, rounds, inner)
+}
+
+// Explanations decompose a candidate's NetOut score coordinate by
+// coordinate, making the outlier judgment auditable.
+type (
+	Explanation     = core.Explanation
+	PathExplanation = core.PathExplanation
+	Contribution    = core.Contribution
+)
+
+// Query suggestion (alternative feature meta-paths ranked by how sharply
+// they separate outliers — the Section 8 extension).
+type Suggestion = core.Suggestion
+
+// FormatSuggestions renders suggestions for terminal display.
+func FormatSuggestions(sugs []Suggestion, limit int) string {
+	return core.FormatSuggestions(sugs, limit)
+}
+
+// Batch execution.
+type (
+	BatchOptions = core.BatchOptions
+	BatchResult  = core.BatchResult
+)
+
+// ExecuteBatch runs queries in parallel with a worker pool, sharing the
+// given materializer's index read-only across workers.
+func ExecuteBatch(g *Graph, queries []string, opts BatchOptions) ([]BatchResult, error) {
+	return core.ExecuteBatch(g, queries, opts)
+}
+
+// NewMaterializerView returns a concurrency-safe view sharing m's index.
+func NewMaterializerView(m Materializer) (Materializer, error) { return core.NewView(m) }
+
+// ScoreVectors scores candidate neighbor vectors against reference vectors
+// under a measure, without an engine (useful for custom feature pipelines).
+func ScoreVectors(m Measure, cands, refs []Vector) []float64 {
+	return core.ScoreVectors(m, cands, refs)
+}
+
+// NormalizedConnectivity returns σ(a,b) = κ(a,b)/κ(a,a) (Definition 9).
+func NormalizedConnectivity(a, b Vector) float64 { return core.NormalizedConnectivity(a, b) }
+
+// ---------------------------------------------------------------------------
+// Query workloads (Table 4 style)
+
+// QueryTemplate is a query template with a "{}" placeholder for a vertex name.
+type QueryTemplate = core.Template
+
+// PaperTemplates returns the three query templates of the paper's Table 4.
+func PaperTemplates() []QueryTemplate { return core.PaperTemplates() }
+
+// RandomVertexNames samples n vertex names of a type, deterministically.
+func RandomVertexNames(g *Graph, typeName string, n int, seed int64) ([]string, error) {
+	return core.RandomVertexNames(g, typeName, n, seed)
+}
+
+// BuildQuerySet instantiates a template once per name.
+func BuildQuerySet(t QueryTemplate, names []string) []string {
+	return core.BuildQuerySet(t, names)
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+// LOFOptions configures the Local Outlier Factor baseline.
+type LOFOptions = lof.Options
+
+// LOFScores computes LOF over feature vectors (larger = more outlying).
+func LOFScores(points []Vector, opts LOFOptions) ([]float64, error) {
+	return lof.Scores(points, opts)
+}
+
+// KNNOutlierScores computes the kNN-distance outlier score of Ramaswamy et
+// al. (larger = more outlying).
+func KNNOutlierScores(points []Vector, k int) ([]float64, error) {
+	return lof.KNNScores(points, k, nil)
+}
+
+// EuclideanDistance and CosineDistance are the distance functions available
+// to the baselines.
+var (
+	EuclideanDistance = lof.Euclidean
+	CosineDistance    = lof.Cosine
+)
+
+// ---------------------------------------------------------------------------
+// Synthetic networks and I/O
+
+// GenConfig configures the synthetic DBLP-like network generator; Planted
+// configures the case-study outlier profiles; Manifest records what was
+// planted.
+type (
+	GenConfig  = gen.Config
+	GenPlanted = gen.Planted
+	Manifest   = gen.Manifest
+)
+
+// DefaultGenConfig returns a mid-sized deterministic generator configuration.
+func DefaultGenConfig() GenConfig { return gen.Default() }
+
+// ScaledGenConfig scales the default background network by a factor.
+func ScaledGenConfig(factor int) GenConfig { return gen.Scaled(factor) }
+
+// Generate builds a synthetic bibliographic network.
+func Generate(cfg GenConfig) (*Graph, *Manifest, error) { return gen.Generate(cfg) }
+
+// SecurityConfig configures the security-operations generator;
+// SecurityManifest records its planted compromised hosts.
+type (
+	SecurityConfig   = gen.SecurityConfig
+	SecurityManifest = gen.SecurityManifest
+)
+
+// DefaultSecurityConfig returns a small but non-trivial configuration.
+func DefaultSecurityConfig() SecurityConfig { return gen.DefaultSecurityConfig() }
+
+// GenerateSecurity builds a host/alert/signature/subnet network with
+// planted compromised hosts.
+func GenerateSecurity(cfg SecurityConfig) (*Graph, *SecurityManifest, error) {
+	return gen.GenerateSecurity(cfg)
+}
+
+// LoadGraph reads a network from a file (.json → JSON, otherwise TSV).
+func LoadGraph(path string) (*Graph, error) { return hinio.Load(path) }
+
+// SaveGraph writes a network to a file (.json → JSON, otherwise TSV).
+func SaveGraph(path string, g *Graph) error { return hinio.Save(path, g) }
+
+// ---------------------------------------------------------------------------
+// Relational bridge (Section 8: outlier queries over relational databases)
+
+// Relational store types: entity tables become vertex types, foreign keys
+// and junction tables become links.
+type (
+	RelDB           = rel.DB
+	RelTable        = rel.Table
+	RelTableDef     = rel.TableDef
+	RelColumn       = rel.Column
+	RelColumnType   = rel.ColumnType
+	RelRow          = rel.Row
+	RelBridgeConfig = rel.BridgeConfig
+	RelEntityTable  = rel.EntityTable
+)
+
+// Relational column types.
+const (
+	RelText  = rel.TextCol
+	RelInt   = rel.IntCol
+	RelFloat = rel.FloatCol
+)
+
+// NewRelDB creates an empty in-memory relational database.
+func NewRelDB() *RelDB { return rel.NewDB() }
+
+// RelToHIN converts a relational database into a heterogeneous information
+// network, after which outlier queries run unchanged.
+func RelToHIN(db *RelDB, cfg RelBridgeConfig) (*Graph, error) { return rel.ToHIN(db, cfg) }
+
+// ---------------------------------------------------------------------------
+// Knowledge-graph ingestion (Section 8: open-schema networks)
+
+// TripleStore accumulates subject/predicate/object triples; `type`
+// declarations become vertex types and every other predicate becomes an
+// allowed link.
+type TripleStore = kg.Store
+
+// NewTripleStore creates an empty triple store.
+func NewTripleStore() *TripleStore { return kg.NewStore() }
+
+// ReadTriples parses tab-separated triples.
+func ReadTriples(r io.Reader) (*TripleStore, error) { return kg.Read(r) }
+
+// LoadTriples reads triples from a file.
+func LoadTriples(path string) (*TripleStore, error) { return kg.Load(path) }
+
+// ---------------------------------------------------------------------------
+// ArnetMiner import (the paper's data-set format)
+
+// AminerRecord is one publication entry of an ArnetMiner/DBLP citation dump.
+type AminerRecord = aminer.Record
+
+// AminerBuildOptions configures network construction from parsed records.
+type AminerBuildOptions = aminer.BuildOptions
+
+// ParseAminer reads ArnetMiner-format records (#* title, #@ authors,
+// #c venue, ...).
+func ParseAminer(r io.Reader) ([]AminerRecord, error) { return aminer.Parse(r) }
+
+// BuildAminer converts parsed records into the four-type bibliographic
+// network the paper's experiments use.
+func BuildAminer(records []AminerRecord, opts AminerBuildOptions) (*Graph, error) {
+	return aminer.Build(records, opts)
+}
+
+// LoadAminer parses a dump file and builds the network in one step.
+func LoadAminer(path string, opts AminerBuildOptions) (*Graph, error) {
+	return aminer.Load(path, opts)
+}
+
+// TokenizeTitle splits a paper title into term tokens the way the importer
+// does (lowercased, short tokens and optionally stopwords dropped).
+func TokenizeTitle(title string, minLen int, dropStopwords bool) []string {
+	return aminer.Tokenize(title, minLen, dropStopwords)
+}
+
+// ---------------------------------------------------------------------------
+// Result comparison
+
+// OverlapAtK reports how many vertices two results share in their top-k
+// prefixes, plus the Jaccard similarity of those prefixes.
+func OverlapAtK(a, b *Result, k int) (shared int, jaccard float64) {
+	return core.OverlapAtK(a, b, k)
+}
+
+// SpearmanRho computes Spearman's rank correlation over the vertices both
+// results rank.
+func SpearmanRho(a, b *Result) (float64, error) { return core.SpearmanRho(a, b) }
+
+// KendallTau computes Kendall's τ-a over the vertices both results rank.
+func KendallTau(a, b *Result) (float64, error) { return core.KendallTau(a, b) }
+
+// DegreeSummary describes a one-hop degree distribution; obtain via
+// Graph.DegreeDistribution or Graph.StatsReport.
+type DegreeSummary = hin.DegreeSummary
+
+// InducedSubgraph builds the subgraph induced by the given vertices,
+// returning the new graph and the old→new vertex mapping.
+func InducedSubgraph(g *Graph, vertices []VertexID) (*Graph, map[VertexID]VertexID, error) {
+	return hin.InducedSubgraph(g, vertices)
+}
+
+// EgoNetwork returns the vertices within hops undirected hops of the seeds.
+func EgoNetwork(g *Graph, seeds []VertexID, hops int) ([]VertexID, error) {
+	return hin.EgoNetwork(g, seeds, hops)
+}
+
+// ---------------------------------------------------------------------------
+// Random-walk similarities (the alternatives Section 5.2 contrasts with)
+
+// PPROptions configures Personalized PageRank (random walk with restart).
+type PPROptions = walk.PPROptions
+
+// PPR computes the Personalized PageRank vector from a source vertex.
+func PPR(g *Graph, source VertexID, opts PPROptions) (Vector, error) {
+	return walk.PPR(g, source, opts)
+}
+
+// PPROutlierScores scores candidates as Ω(vi) = Σ_{vj∈Sr} ppr_vi(vj)
+// (smaller = more outlying).
+func PPROutlierScores(g *Graph, cands, refs []VertexID, opts PPROptions) ([]float64, error) {
+	return walk.PPROutlierScores(g, cands, refs, opts)
+}
+
+// PPRMetaPath computes the meta-path-constrained restart walk: each step
+// follows one full instantiation of P·P⁻¹, staying on the source type.
+func PPRMetaPath(g *Graph, p MetaPath, source VertexID, opts PPROptions) (Vector, error) {
+	return walk.PPRMetaPath(g, p, source, opts)
+}
+
+// PPRMetaPathOutlierScores scores candidates under the constrained walk,
+// excluding the self term (smaller = more outlying).
+func PPRMetaPathOutlierScores(g *Graph, p MetaPath, cands, refs []VertexID, opts PPROptions) ([]float64, error) {
+	return walk.PPRMetaPathOutlierScores(g, p, cands, refs, opts)
+}
+
+// SimRankOptions configures SimRank; SimRankMatrix holds its pairwise
+// fixed point.
+type (
+	SimRankOptions = walk.SimRankOptions
+	SimRankMatrix  = walk.SimRankMatrix
+)
+
+// SimRank computes the classic SimRank fixed point (O(n²) — run it on an
+// ego-network subgraph for large networks).
+func SimRank(g *Graph, opts SimRankOptions) (*SimRankMatrix, error) { return walk.SimRank(g, opts) }
+
+// SimRankOutlierScores scores candidates as Ω(vi) = Σ_{vj∈Sr} s(vi, vj).
+func SimRankOutlierScores(m *SimRankMatrix, cands, refs []VertexID) []float64 {
+	return walk.SimRankOutlierScores(m, cands, refs)
+}
+
+// ---------------------------------------------------------------------------
+// Ranking evaluation against ground truth
+
+// EvalReport bundles precision/recall/AP/AUC for one method.
+type EvalReport = eval.Report
+
+// PrecisionAtK, RecallAtK, AveragePrecision and ROCAUC evaluate a ranking
+// (most outlying first) against a ground-truth positive set.
+func PrecisionAtK(ranked []string, positives map[string]bool, k int) float64 {
+	return eval.PrecisionAtK(ranked, positives, k)
+}
+
+// RecallAtK is the fraction of positives found in the top-k.
+func RecallAtK(ranked []string, positives map[string]bool, k int) float64 {
+	return eval.RecallAtK(ranked, positives, k)
+}
+
+// AveragePrecision is AP over the ranking.
+func AveragePrecision(ranked []string, positives map[string]bool) float64 {
+	return eval.AveragePrecision(ranked, positives)
+}
+
+// ROCAUC is the area under the ROC curve of the ranking.
+func ROCAUC(ranked []string, positives map[string]bool) (float64, error) {
+	return eval.ROCAUC(ranked, positives)
+}
+
+// Evaluate computes the full report for one method's ranking.
+func Evaluate(method string, ranked []string, positives map[string]bool, k int) (EvalReport, error) {
+	return eval.Evaluate(method, ranked, positives, k)
+}
+
+// FormatEvalReports renders reports as an aligned table.
+func FormatEvalReports(reports []EvalReport) string { return eval.FormatReports(reports) }
