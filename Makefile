@@ -12,11 +12,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ .
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

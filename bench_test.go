@@ -18,6 +18,7 @@ package netout_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -387,6 +388,100 @@ func BenchmarkAblationBatchWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAblationSharedCache replays a serving workload — 96 requests
+// round-robin over 12 popular Q1 queries — on an 8-worker pool twice: once
+// with one cached materializer shared warm across the workers (views), and
+// once with a cold private cache per worker. Requests for the same query
+// land on different workers, so only the shared arm turns one worker's
+// traversals into every other worker's hits; that shows up as a higher hit
+// rate (hit-pct metric) and lower wall-clock per pass.
+func BenchmarkAblationSharedCache(b *testing.B) {
+	f := getFixture(b)
+	distinct := f.sets["Q1"][:12]
+	workload := make([]string, 96)
+	for i := range workload {
+		workload[i] = distinct[i%len(distinct)]
+	}
+	// Shuffle with a fixed seed and stripe statically across workers, so
+	// repeats of one query genuinely land on different workers (a dynamic
+	// unbuffered channel would let one hot worker absorb the whole stream
+	// and quietly serialize both arms).
+	r := rand.New(rand.NewSource(3))
+	r.Shuffle(len(workload), func(i, j int) { workload[i], workload[j] = workload[j], workload[i] })
+	const workers = 8
+	runPool := func(b *testing.B, engines []*netout.Engine) {
+		var wg sync.WaitGroup
+		for w, eng := range engines {
+			wg.Add(1)
+			go func(w int, eng *netout.Engine) {
+				defer wg.Done()
+				for i := w; i < len(workload); i += workers {
+					if _, err := eng.Execute(workload[i]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w, eng)
+		}
+		wg.Wait()
+	}
+	hitPct := func(stats []netout.CacheStats) float64 {
+		var hits, total int64
+		for _, cs := range stats {
+			hits += cs.Hits
+			total += cs.Hits + cs.Misses
+		}
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(total)
+	}
+
+	b.Run("shared", func(b *testing.B) {
+		var last []netout.CacheStats
+		for i := 0; i < b.N; i++ {
+			mat, err := netout.NewCached(f.graph, 64<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines := make([]*netout.Engine, workers)
+			for w := range engines {
+				view, err := netout.NewMaterializerView(mat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines[w] = netout.NewEngine(f.graph, netout.WithMaterializer(view))
+			}
+			runPool(b, engines)
+			cs, _ := netout.CacheStatsOf(mat)
+			last = []netout.CacheStats{cs}
+		}
+		b.ReportMetric(hitPct(last), "hit-pct")
+	})
+	b.Run("cold-per-worker", func(b *testing.B) {
+		var last []netout.CacheStats
+		for i := 0; i < b.N; i++ {
+			engines := make([]*netout.Engine, workers)
+			mats := make([]netout.Materializer, workers)
+			for w := range engines {
+				mat, err := netout.NewCached(f.graph, 64<<20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mats[w] = mat
+				engines[w] = netout.NewEngine(f.graph, netout.WithMaterializer(mat))
+			}
+			runPool(b, engines)
+			last = last[:0]
+			for _, m := range mats {
+				cs, _ := netout.CacheStatsOf(m)
+				last = append(last, cs)
+			}
+		}
+		b.ReportMetric(hitPct(last), "hit-pct")
+	})
 }
 
 // BenchmarkAblationProgressiveChunk measures the progressive executor at

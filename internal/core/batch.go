@@ -15,11 +15,19 @@ import (
 // engines processes them in parallel. Pre-materialized indexes are shared
 // read-only across workers via views (the index is immutable after
 // construction; only the per-materializer statistics are worker-local).
+// Cached materializers are shared warm: every view references the same
+// shard set, so one worker's miss is every other worker's hit.
 
-// NewView returns a materializer that shares m's pre-computed index (if
-// any) but owns private traversal scratch space and statistics, making it
-// safe to use concurrently with other views of m. The baseline strategy has
-// no shared state, so its view is simply a fresh baseline.
+// NewView returns a materializer that shares m's pre-computed state but is
+// safe to use concurrently with other views of m:
+//
+//   - baseline: no shared state; the view is a fresh baseline.
+//   - PM/SPM: the immutable index is shared; traversal scratch space and
+//     statistics are private to the view.
+//   - cached: the view references the SAME shard set, singleflight group
+//     and counters, so warm entries and stats are shared across views
+//     (the whole point of the online-discovery strategy in a concurrent
+//     workload). The shared cache is internally synchronized.
 func NewView(m Materializer) (Materializer, error) {
 	switch v := m.(type) {
 	case *baseline:
@@ -31,9 +39,7 @@ func NewView(m Materializer) (Materializer, error) {
 			strategy: v.strategy,
 		}, nil
 	case *cached:
-		// Caches are mutable, so a view is an independent empty cache of
-		// the same capacity: correctness is preserved, warm state is not.
-		return NewCached(v.tr.Graph(), v.maxBytes)
+		return &cached{state: v.state}, nil
 	}
 	return nil, fmt.Errorf("core: cannot create a concurrent view of %T", m)
 }

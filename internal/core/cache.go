@@ -1,9 +1,7 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
-	"time"
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
@@ -18,58 +16,50 @@ import (
 // query set, the cache discovers it online.
 const StrategyCached Strategy = 3
 
-type cacheEntry struct {
-	key string
-	vec sparse.Vector
-}
-
+// cached is a handle on a shared, concurrency-safe cache (see
+// shardedcache.go). Unlike the other materializers it IS safe for
+// concurrent use, and NewView returns handles on the same shard set, so a
+// batch or serving workload shares one warm cache across all workers.
 type cached struct {
-	tr       *metapath.Traverser
-	maxBytes int64
-
-	entries  map[string]*list.Element
-	order    *list.List // front = most recent
-	curBytes int64
-
-	stats     MatStats
-	hits      int64
-	misses    int64
-	evictions int64
+	state *sharedCacheState
 }
 
 // CacheStats reports cache behaviour beyond the shared MatStats.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
-	Bytes                   int64
+	// Deduped counts loads that missed the cache but were served by another
+	// goroutine's concurrent traversal of the same (path, vertex) — the
+	// singleflight coalescing. Deduped loads are included in Hits (no
+	// network work was done on that call), so Hits+Misses always equals the
+	// number of NeighborVector calls.
+	Deduped int64
+	Bytes   int64
 }
 
 // NewCached returns a materializer that memoizes neighbor vectors in an
 // LRU cache bounded to maxBytes of vector payload (plus fixed per-entry
 // overhead). maxBytes must be positive.
+//
+// The cache is safe for concurrent use, and concurrent misses on the same
+// (path, vertex) traverse the network once (singleflight). Views created
+// with NewView share the same warm state and counters.
 func NewCached(g *hin.Graph, maxBytes int64) (Materializer, error) {
 	if maxBytes <= 0 {
 		return nil, fmt.Errorf("core: cache size must be positive, got %d", maxBytes)
 	}
-	return &cached{
-		tr:       metapath.NewTraverser(g),
-		maxBytes: maxBytes,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
-	}, nil
+	return &cached{state: newSharedCacheState(g, maxBytes)}, nil
 }
 
 func (c *cached) Strategy() Strategy { return StrategyCached }
-func (c *cached) IndexBytes() int64  { return c.curBytes }
-func (c *cached) Stats() MatStats    { return c.stats }
+func (c *cached) IndexBytes() int64  { return c.state.bytes.Load() }
+func (c *cached) Stats() MatStats    { return c.state.matStats() }
 
-// CacheStats returns hit/miss/eviction counters. The materializer must
-// have been created by NewCached.
-func (c *cached) CacheStats() CacheStats {
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Bytes: c.curBytes}
-}
+// CacheStats returns hit/miss/eviction counters, aggregated over every view
+// of the cache. The materializer must have been created by NewCached.
+func (c *cached) CacheStats() CacheStats { return c.state.cacheStats() }
 
 // CacheStatsOf extracts cache counters from a materializer created by
-// NewCached; ok is false for other strategies.
+// NewCached (or any view of one); ok is false for other strategies.
 func CacheStatsOf(m Materializer) (CacheStats, bool) {
 	c, ok := m.(*cached)
 	if !ok {
@@ -85,7 +75,7 @@ func cacheKey(p metapath.Path, v hin.VertexID) string {
 }
 
 func (c *cached) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error) {
-	g := c.tr.Graph()
+	g := c.state.g
 	if p.IsZero() {
 		return sparse.Vector{}, fmt.Errorf("core: zero meta-path")
 	}
@@ -97,42 +87,8 @@ func (c *cached) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector,
 			v, g.Schema().TypeName(g.Type(v)), g.Schema().TypeName(p.Source()))
 	}
 	key := cacheKey(p, v)
-	start := time.Now()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.stats.IndexedTime += time.Since(start)
-		c.stats.IndexedVectors++
-		c.hits++
-		return el.Value.(*cacheEntry).vec, nil
+	if vec, ok := c.state.lookup(key); ok {
+		return vec, nil
 	}
-	vec, err := c.tr.NeighborVector(p, v)
-	c.stats.TraversalTime += time.Since(start)
-	c.stats.TraversedVectors++
-	c.misses++
-	if err != nil {
-		return sparse.Vector{}, err
-	}
-	c.insert(key, vec)
-	return vec, nil
-}
-
-func (c *cached) insert(key string, vec sparse.Vector) {
-	size := int64(vec.Bytes()) + indexEntryOverhead + int64(len(key))
-	if size > c.maxBytes {
-		return // larger than the whole cache: do not thrash
-	}
-	el := c.order.PushFront(&cacheEntry{key: key, vec: vec})
-	c.entries[key] = el
-	c.curBytes += size
-	for c.curBytes > c.maxBytes {
-		tail := c.order.Back()
-		if tail == nil {
-			break
-		}
-		e := tail.Value.(*cacheEntry)
-		c.order.Remove(tail)
-		delete(c.entries, e.key)
-		c.curBytes -= int64(e.vec.Bytes()) + indexEntryOverhead + int64(len(e.key))
-		c.evictions++
-	}
+	return c.state.load(p, v, key)
 }

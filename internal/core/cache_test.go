@@ -6,11 +6,13 @@ import (
 	"math/rand"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
+	"netout/internal/sparse"
 )
 
 func TestCachedBasics(t *testing.T) {
@@ -137,15 +139,213 @@ func TestQuickCachedAgreesWithBaseline(t *testing.T) {
 	}
 }
 
-func TestNewViewCached(t *testing.T) {
+func TestNewViewCachedSharesWarmState(t *testing.T) {
 	g := fig1Graph(t)
-	mat, _ := NewCached(g, 1024)
+	mat, _ := NewCached(g, 1<<20)
+	p, _ := metapath.ParseDotted(g.Schema(), "author.paper.venue")
+	a, _ := g.Schema().TypeByName("author")
+	zoe, _ := g.VertexByName(a, "Zoe")
+	want, err := mat.NeighborVector(p, zoe) // warm the cache through the original
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	view, err := NewView(mat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if view.Strategy() != StrategyCached || view.IndexBytes() != 0 {
-		t.Fatal("cached view should be an empty cache")
+	if view.Strategy() != StrategyCached {
+		t.Fatal("view strategy wrong")
+	}
+	if view.IndexBytes() != mat.IndexBytes() || view.IndexBytes() == 0 {
+		t.Fatalf("view bytes %d != original %d: warm state not shared",
+			view.IndexBytes(), mat.IndexBytes())
+	}
+	// The view must answer from the warm entry, not by traversal.
+	before := view.Stats()
+	got, err := view.NeighborVector(p, zoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("view returned a different vector")
+	}
+	d := view.Stats().Sub(before)
+	if d.IndexedVectors != 1 || d.TraversedVectors != 0 {
+		t.Fatalf("view lookup stats = %+v, want a pure index hit", d)
+	}
+	// Stats are aggregated over all views: both handles see the same totals.
+	vs, _ := CacheStatsOf(view)
+	ms, _ := CacheStatsOf(mat)
+	if vs != ms {
+		t.Fatalf("view stats %+v != original stats %+v", vs, ms)
+	}
+	if vs.Hits != 1 || vs.Misses != 1 {
+		t.Fatalf("aggregated stats = %+v, want 1 hit / 1 miss", vs)
+	}
+	// Warming flows the other way too: entries inserted through the view
+	// are visible to the original handle.
+	liam, _ := g.VertexByName(a, "Liam")
+	if _, err := view.NeighborVector(p, liam); err != nil {
+		t.Fatal(err)
+	}
+	before = mat.Stats()
+	if _, err := mat.NeighborVector(p, liam); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Stats().Sub(before); d.TraversedVectors != 0 {
+		t.Fatalf("original re-traversed a view-warmed entry: %+v", d)
+	}
+}
+
+// A minimal deterministic check of the singleflight follower path: a do()
+// call that finds a registered flight must wait for it and return the
+// leader's result without running its own fn. WaitGroup semantics make
+// this order-independent (Done before Wait is fine), so no sleeps.
+func TestFlightGroupCoalesces(t *testing.T) {
+	var fg flightGroup
+	leader := &flightCall{}
+	leader.wg.Add(1)
+	fg.mu.Lock()
+	fg.m = map[string]*flightCall{"k": leader}
+	fg.mu.Unlock()
+
+	type res struct {
+		vec sparse.Vector
+		err error
+	}
+	done := make(chan res)
+	go func() {
+		vec, err := fg.do("k", func() (sparse.Vector, error) {
+			t.Error("follower ran its own fn")
+			return sparse.Vector{}, nil
+		})
+		done <- res{vec, err}
+	}()
+	leader.vec = sparse.Vector{Idx: []int32{7}, Val: []float64{3}}
+	leader.wg.Done()
+	r := <-done
+	if r.err != nil || !r.vec.Equal(leader.vec) {
+		t.Fatalf("follower got %v, %v", r.vec, r.err)
+	}
+	// A fresh key runs fn exactly once and unregisters afterwards.
+	ran := 0
+	vec, err := fg.do("fresh", func() (sparse.Vector, error) {
+		ran++
+		return sparse.Vector{Idx: []int32{1}, Val: []float64{1}}, nil
+	})
+	if err != nil || ran != 1 || vec.IsZero() {
+		t.Fatalf("leader path: ran=%d vec=%v err=%v", ran, vec, err)
+	}
+	fg.mu.Lock()
+	if len(fg.m) != 1 { // only the hand-registered "k" remains
+		t.Errorf("flight map not cleaned up: %d entries", len(fg.m))
+	}
+	fg.mu.Unlock()
+}
+
+// Shared-cache stress: ≥8 goroutines hammer one cache (both the original
+// handle and views) with overlapping keys under a budget small enough to
+// force constant eviction. Run under -race. Afterwards every counter
+// invariant must hold exactly:
+//
+//	hits + misses == total NeighborVector calls
+//	misses == TraversedVectors (singleflight: one traversal per miss)
+//	hits   == IndexedVectors
+//	Bytes  == re-summed entry sizes, and ≤ maxBytes
+func TestSharedCacheConcurrentStress(t *testing.T) {
+	g := fig1Graph(t)
+	const maxBytes = 400 // a handful of entries: evictions guaranteed
+	mat, err := NewCached(g, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.Schema().TypeByName("author")
+	authors := g.VerticesOfType(a)[:3] // Ava, Liam, Zoe (skip Hermit: zero Φ is fine but keep keys hot)
+	var paths []metapath.Path
+	for _, dotted := range []string{"author.paper.venue", "author.paper.author", "author.paper.term", "author.paper.venue.paper.author"} {
+		p, err := metapath.ParseDotted(g.Schema(), dotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	const (
+		workers = 8
+		rounds  = 300
+	)
+	want := make(map[string]sparse.Vector)
+	base := NewBaseline(g)
+	for _, p := range paths {
+		for _, v := range authors {
+			vec, err := base.NeighborVector(p, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[cacheKey(p, v)] = vec
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		m := Materializer(mat)
+		if w%2 == 1 { // half the workers go through views
+			if m, err = NewView(mat); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Add(1)
+		go func(w int, m Materializer) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				p := paths[r.Intn(len(paths))]
+				v := authors[r.Intn(len(authors))]
+				vec, err := m.NeighborVector(p, v)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !vec.Equal(want[cacheKey(p, v)]) {
+					errCh <- fmt.Errorf("worker %d: wrong vector for %v/%d", w, p, v)
+					return
+				}
+			}
+		}(w, m)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	cs, ok := CacheStatsOf(mat)
+	if !ok {
+		t.Fatal("CacheStatsOf failed")
+	}
+	st := mat.Stats()
+	total := int64(workers * rounds)
+	if cs.Hits+cs.Misses != total {
+		t.Fatalf("hits %d + misses %d != %d calls", cs.Hits, cs.Misses, total)
+	}
+	if cs.Misses != st.TraversedVectors {
+		t.Fatalf("misses %d != traversed %d: singleflight accounting broken", cs.Misses, st.TraversedVectors)
+	}
+	if cs.Hits != st.IndexedVectors {
+		t.Fatalf("hits %d != indexed %d", cs.Hits, st.IndexedVectors)
+	}
+	if cs.Evictions == 0 {
+		t.Fatalf("expected evictions under a %d-byte budget: %+v", maxBytes, cs)
+	}
+	// Byte accounting survives eviction churn exactly.
+	state := mat.(*cached).state
+	if got := state.recomputeBytes(); got != cs.Bytes {
+		t.Fatalf("atomic bytes %d != recomputed %d", cs.Bytes, got)
+	}
+	if cs.Bytes > maxBytes {
+		t.Fatalf("cache exceeded its budget after settling: %d > %d", cs.Bytes, maxBytes)
 	}
 }
 

@@ -15,8 +15,9 @@ import (
 
 // Engine executes outlier queries over a heterogeneous information network.
 // An Engine is configured once with a measure and a materialization
-// strategy; it is not safe for concurrent use (create one per goroutine —
-// materializer indexes can be shared only if built separately).
+// strategy; it is not safe for concurrent use (create one per goroutine,
+// sharing materializer state through NewView — see the concurrency contract
+// in DESIGN.md — or route traffic through a ServePool).
 type Engine struct {
 	g       *hin.Graph
 	tr      *metapath.Traverser
@@ -35,11 +36,6 @@ func (e *Engine) checkCtx() error {
 	}
 	return e.ctx.Err()
 }
-
-// resetCtx clears any context left by a previous ExecuteQueryContext so
-// that context-less entry points (Explain, SuggestFeatures, progressive
-// execution, CandidateSet) never observe a stale cancellation.
-func (e *Engine) resetCtx() { e.ctx = nil }
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -141,6 +137,15 @@ func (e *Engine) ExecuteQuery(q *oql.Query) (*Result, error) {
 func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result, error) {
 	start := time.Now()
 	e.ctx = ctx
+	// The context must not outlive the query: a later direct call to a
+	// context-less entry point (EvalSet, Explain, ...) would otherwise
+	// observe a stale cancellation and fail spuriously.
+	defer func() { e.ctx = nil }()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if _, err := oql.Validate(q, e.g.Schema()); err != nil {
 		return nil, err
 	}
@@ -197,17 +202,25 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 			}
 		}
 	default: // CombineAverage
-		totalWeight := 0.0
-		for _, w := range weights {
-			totalWeight += w
-		}
+		// The average is renormalized per candidate by the summed weight of
+		// the paths that actually characterize it: a candidate with zero
+		// visibility under one path still gets a proper weighted mean of the
+		// paths it IS visible under, instead of a score deflated by the
+		// invisible paths' weight (which would fake extra outlierness).
+		seenWeight := make([]float64, len(cands))
 		for m := range q.Features {
 			for i, s := range ScoreVectors(e.measure, candPerPath[m], refPerPath[m]) {
 				if math.IsNaN(s) {
 					continue
 				}
-				combined[i] += weights[m] * s / totalWeight
+				combined[i] += weights[m] * s
+				seenWeight[i] += weights[m]
 				seen[i] = true
+			}
+		}
+		for i := range combined {
+			if seenWeight[i] > 0 {
+				combined[i] /= seenWeight[i]
 			}
 		}
 	}
@@ -272,7 +285,6 @@ func (e *Engine) materializeFeature(p metapath.Path, cands, refs []hin.VertexID,
 // by SPM's initialization phase, which needs candidate membership counts
 // without paying for scoring.
 func (e *Engine) CandidateSet(src string) ([]hin.VertexID, error) {
-	e.resetCtx()
 	q, err := oql.Parse(src)
 	if err != nil {
 		return nil, err

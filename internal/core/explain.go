@@ -78,7 +78,6 @@ func (e *Engine) Explain(src string, candidateName string, topN int) (*Explanati
 
 // ExplainQuery is Explain for a parsed query.
 func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Explanation, error) {
-	e.resetCtx()
 	if e.measure != MeasureNetOut {
 		return nil, fmt.Errorf("core: explanations are defined for the NetOut measure (engine uses %s)", e.measure)
 	}
@@ -105,10 +104,10 @@ func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Ex
 	}
 
 	out := &Explanation{Vertex: target, Name: candidateName}
-	totalWeight := 0.0
-	for _, f := range q.Features {
-		totalWeight += f.Weight
-	}
+	// Matches Execute's CombineAverage semantics: the combined score is
+	// renormalized by the summed weight of the paths that characterize the
+	// candidate, not by the total feature weight.
+	seenWeight := 0.0
 	for _, f := range q.Features {
 		p, err := metapath.FromNames(e.g.Schema(), f.Segments...)
 		if err != nil {
@@ -157,9 +156,13 @@ func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Ex
 			if topN > 0 && len(pe.Contributions) > topN {
 				pe.Contributions = pe.Contributions[:topN]
 			}
-			out.Score += f.Weight * pe.Score / totalWeight
+			out.Score += f.Weight * pe.Score
+			seenWeight += f.Weight
 		}
 		out.Paths = append(out.Paths, pe)
+	}
+	if seenWeight > 0 {
+		out.Score /= seenWeight
 	}
 	return out, nil
 }

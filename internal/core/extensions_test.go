@@ -507,6 +507,49 @@ func TestExecuteBatchSharedIndex(t *testing.T) {
 	}
 }
 
+func TestExecuteBatchSharedCache(t *testing.T) {
+	g := fig1Graph(t)
+	mat, err := NewCached(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"Zoe", "Liam", "Ava"}
+	var queries []string
+	for _, n := range names {
+		for i := 0; i < 4; i++ {
+			queries = append(queries,
+				fmt.Sprintf(`FIND OUTLIERS FROM author{%q}.paper.author JUDGED BY author.paper.venue;`, n))
+		}
+	}
+	results, err := ExecuteBatch(g, queries, BatchOptions{Workers: 4, Materializer: mat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewEngine(g)
+	for i, br := range results {
+		if br.Err != nil {
+			t.Fatalf("query %d: %v", i, br.Err)
+		}
+		want, _ := serial.Execute(queries[i])
+		if !resultsEqual(br.Result, want) {
+			t.Fatalf("query %d diverges under shared cache", i)
+		}
+	}
+	// Unlike PM views, cache views share warm state AND stats: the repeated
+	// workload must resolve mostly from cache, and the handle the caller
+	// kept sees the whole pool's counters.
+	cs, ok := CacheStatsOf(mat)
+	if !ok {
+		t.Fatal("CacheStatsOf failed")
+	}
+	if cs.Hits <= cs.Misses || cs.Misses == 0 {
+		t.Fatalf("shared cache not warm across batch workers: %+v", cs)
+	}
+	if st := mat.Stats(); st.TraversedVectors != cs.Misses || st.IndexedVectors != cs.Hits {
+		t.Fatalf("stats disagree: %+v vs %+v", st, cs)
+	}
+}
+
 func TestNewViewErrors(t *testing.T) {
 	if _, err := NewView(nil); err == nil {
 		t.Error("nil materializer view should fail")

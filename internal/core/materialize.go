@@ -56,7 +56,10 @@ func (s MatStats) Sub(o MatStats) MatStats {
 }
 
 // Materializer produces neighbor vectors Φ_P(v), possibly from a
-// pre-computed index. Implementations are not safe for concurrent use.
+// pre-computed index. The baseline and indexed (PM/SPM) implementations
+// are not safe for concurrent use — share their immutable index across
+// goroutines via NewView. The cached materializer (NewCached) IS safe for
+// concurrent use, and its views share one warm cache.
 type Materializer interface {
 	// NeighborVector returns Φ_P(v).
 	NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error)
@@ -229,8 +232,11 @@ func (m *indexedMaterializer) NeighborVector(p metapath.Path, v hin.VertexID) (s
 func (m *indexedMaterializer) lookup(chunk metapath.Path, v hin.VertexID) (sparse.Vector, bool) {
 	start := time.Now()
 	vec, ok := m.ix.get(chunk, v)
+	// Probe time is index time whether the probe hits or misses — a miss
+	// still paid the lookup, and dropping it would understate the "indexed"
+	// share of Figure 4 style breakdowns for sparse indexes.
+	m.stats.IndexedTime += time.Since(start)
 	if ok {
-		m.stats.IndexedTime += time.Since(start)
 		m.stats.IndexedVectors++
 	}
 	return vec, ok
@@ -240,12 +246,14 @@ func (m *indexedMaterializer) traverseFrontier(p metapath.Path, fromHop int, fro
 	start := time.Now()
 	for hop := fromHop; hop < p.Hops(); hop++ {
 		frontier = m.tr.Expand(frontier, p.Type(hop+1))
+		// One traversal per hop actually expanded, so a long fallback walk
+		// is not undercounted as a single vector.
+		m.stats.TraversedVectors++
 		if frontier.IsZero() {
 			break
 		}
 	}
 	m.stats.TraversalTime += time.Since(start)
-	m.stats.TraversedVectors++
 	return frontier
 }
 

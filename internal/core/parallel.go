@@ -12,7 +12,9 @@ import (
 // NewPMParallel builds the full PM index using a worker pool: the
 // per-vertex Φ computations of a length-2 path are independent, so index
 // construction parallelizes embarrassingly. workers <= 0 uses GOMAXPROCS.
-// The resulting materializer is identical to NewPM's.
+// The resulting materializer is identical to NewPM's — including its
+// concurrency contract: only the build is parallel; to query the index
+// from several goroutines, give each worker a NewView.
 func NewPMParallel(g *hin.Graph, workers int) Materializer {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -126,7 +126,6 @@ func (e *Engine) ExecuteProgressive(src string, opts ProgressiveOptions) (*Resul
 
 // ExecuteQueryProgressive is ExecuteProgressive for a parsed query.
 func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) (*Result, error) {
-	e.resetCtx()
 	if e.measure != MeasureNetOut {
 		return nil, fmt.Errorf("core: progressive execution supports the NetOut measure only (engine uses %s)", e.measure)
 	}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netout/internal/hin"
+)
+
+// ServePool is the serving front door for heavy query traffic: a bounded
+// pool of workers, each with its own engine, all sharing one materializer
+// through views. With a cached materializer the pool realizes the shared
+// warm cache end to end — every worker's traversals warm every other
+// worker's lookups, and concurrent misses on the same vertex are
+// singleflighted. Unlike ExecuteBatch (one shot over a fixed query slice),
+// a ServePool stays up and accepts queries one at a time from any number
+// of goroutines, which matches an online analyst workload.
+type ServePool struct {
+	mu     sync.RWMutex // guards closed against concurrent Execute/Close
+	closed bool
+	jobs   chan serveJob
+	wg     sync.WaitGroup
+
+	served    atomic.Int64
+	failed    atomic.Int64
+	queueNs   atomic.Int64
+	executeNs atomic.Int64
+}
+
+// ServeOptions configures NewServePool.
+type ServeOptions struct {
+	// Workers is the pool size (default: GOMAXPROCS).
+	Workers int
+	// Measure is the outlierness measure (default MeasureNetOut).
+	Measure Measure
+	// Combination is the multi-path combination mode (default average).
+	Combination Combination
+	// Materializer, if set, is shared across the workers via NewView
+	// (warm-shared for caches, read-only for PM/SPM indexes); nil means
+	// each worker gets its own baseline.
+	Materializer Materializer
+}
+
+// ServeStats summarizes a pool's lifetime traffic.
+type ServeStats struct {
+	// Served and Failed count completed queries by outcome (Failed includes
+	// cancellations observed by a worker).
+	Served, Failed int64
+	// QueueWait is total time queries spent waiting for a free worker;
+	// Execute is total time spent executing. Divide by Served+Failed for
+	// per-query means.
+	QueueWait, Execute time.Duration
+}
+
+type serveJob struct {
+	ctx      context.Context
+	src      string
+	enqueued time.Time
+	done     chan serveDone
+}
+
+type serveDone struct {
+	res *Result
+	err error
+}
+
+// NewServePool starts a worker pool over g. Callers must Close the pool to
+// release its workers.
+func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	engines := make([]*Engine, workers)
+	for w := range engines {
+		var mat Materializer
+		if opts.Materializer != nil {
+			view, err := NewView(opts.Materializer)
+			if err != nil {
+				return nil, err
+			}
+			mat = view
+		} else {
+			mat = NewBaseline(g)
+		}
+		engines[w] = NewEngine(g,
+			WithMeasure(opts.Measure),
+			WithCombination(opts.Combination),
+			WithMaterializer(mat))
+	}
+	p := &ServePool{jobs: make(chan serveJob)}
+	for _, eng := range engines {
+		p.wg.Add(1)
+		go func(eng *Engine) {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.queueNs.Add(time.Since(job.enqueued).Nanoseconds())
+				start := time.Now()
+				res, err := eng.ExecuteContext(job.ctx, job.src)
+				p.executeNs.Add(time.Since(start).Nanoseconds())
+				if err != nil {
+					p.failed.Add(1)
+				} else {
+					p.served.Add(1)
+				}
+				job.done <- serveDone{res: res, err: err}
+			}
+		}(eng)
+	}
+	return p, nil
+}
+
+// Execute runs one query on the pool, blocking until a worker is free and
+// the query completes. It is safe to call from any number of goroutines.
+// The context bounds both the wait for a worker and the execution itself;
+// a query abandoned after dispatch still aborts promptly, because the
+// worker checks the context at per-vertex granularity.
+func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, fmt.Errorf("core: ServePool is closed")
+	}
+	job := serveJob{ctx: ctx, src: src, enqueued: time.Now(), done: make(chan serveDone, 1)}
+	select {
+	case p.jobs <- job:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case d := <-job.done:
+		return d.res, d.err
+	case <-ctx.Done():
+		// The worker aborts via the same context; its result is discarded
+		// into the buffered done channel.
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the pool's traffic counters.
+func (p *ServePool) Stats() ServeStats {
+	return ServeStats{
+		Served:    p.served.Load(),
+		Failed:    p.failed.Load(),
+		QueueWait: time.Duration(p.queueNs.Load()),
+		Execute:   time.Duration(p.executeNs.Load()),
+	}
+}
+
+// Close stops the pool and waits for in-flight queries to finish. Further
+// Execute calls fail. Close is idempotent.
+func (p *ServePool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/sparse"
+)
+
+func TestServePoolMatchesSerialEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := randomBibGraph(r)
+	var queries []string
+	for len(queries) < 9 {
+		queries = append(queries, randomQueries(r, g)...)
+	}
+	serial := NewEngine(g)
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := serial.Execute(q)
+		if err != nil {
+			t.Fatalf("serial %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	mat, err := NewCached(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewServePool(g, ServeOptions{Workers: 4, Materializer: mat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Hammer the pool from more goroutines than workers, each running the
+	// whole workload; every result must match the serial engine.
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, q := range queries {
+				res, err := pool.Execute(context.Background(), q)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d query %d: %w", c, i, err)
+					return
+				}
+				if !resultsEqual(res, want[i]) {
+					errCh <- fmt.Errorf("client %d query %d: result differs from serial engine", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := pool.Stats()
+	if st.Served != int64(clients*len(queries)) || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want %d served / 0 failed", st, clients*len(queries))
+	}
+	if st.Execute <= 0 {
+		t.Fatalf("stats = %+v, want positive execute time", st)
+	}
+	// Workers share one warm cache through views: repeated workloads must
+	// be overwhelmingly cache hits.
+	cs, ok := CacheStatsOf(mat)
+	if !ok {
+		t.Fatal("CacheStatsOf failed")
+	}
+	if cs.Hits <= cs.Misses {
+		t.Fatalf("shared cache not warm across workers: %+v", cs)
+	}
+}
+
+func TestServePoolContextAndClose(t *testing.T) {
+	g := fig1Graph(t)
+	pool, err := NewServePool(g, ServeOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`
+
+	// A cancelled context aborts instead of executing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.Execute(ctx, src); err == nil {
+		t.Fatal("cancelled Execute should fail")
+	}
+	// A nil context works (treated as Background).
+	if _, err := pool.Execute(nil, src); err != nil { //nolint:staticcheck
+		t.Fatalf("nil-context Execute: %v", err)
+	}
+	// A query failure is reported to the caller and counted as failed,
+	// without poisoning the pool.
+	if _, err := pool.Execute(context.Background(), `FIND OUTLIERS FROM author{"Nobody"} JUDGED BY author.paper.venue;`); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	if res, err := pool.Execute(context.Background(), src); err != nil || len(res.Entries) == 0 {
+		t.Fatalf("pool unusable after a failed query: %v", err)
+	}
+	st := pool.Stats()
+	if st.Served != 2 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want 2 served / 1 failed", st)
+	}
+
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Execute(context.Background(), src); err == nil {
+		t.Fatal("Execute after Close should fail")
+	}
+}
+
+func TestServePoolDefaultsAndErrors(t *testing.T) {
+	g := fig1Graph(t)
+	// Default worker count and baseline materializer.
+	pool, err := NewServePool(g, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := pool.Execute(context.Background(), `FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`); err != nil || len(res.Entries) == 0 {
+		t.Fatalf("default pool: %v", err)
+	}
+	pool.Close()
+
+	// A materializer that cannot be viewed is a setup error.
+	if _, err := NewServePool(g, ServeOptions{Materializer: badMaterializer{}}); err == nil {
+		t.Fatal("unviewable materializer should fail pool construction")
+	}
+}
+
+// badMaterializer is a foreign implementation NewView cannot make a
+// concurrent view of.
+type badMaterializer struct{}
+
+func (badMaterializer) NeighborVector(metapath.Path, hin.VertexID) (sparse.Vector, error) {
+	return sparse.Vector{}, nil
+}
+func (badMaterializer) Strategy() Strategy { return StrategyBaseline }
+func (badMaterializer) IndexBytes() int64  { return 0 }
+func (badMaterializer) Stats() MatStats    { return MatStats{} }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/sparse"
+)
+
+// The cached materializer's state is sharded so that a query-serving
+// workload (ExecuteBatch, ServePool) can share one warm cache across all
+// workers: the map/LRU bookkeeping is split over cacheShardCount
+// mutex-guarded shards keyed by a hash of the cache key, all counters are
+// atomic, and concurrent misses on the same (path, vertex) are coalesced by
+// a singleflight group so the network is traversed once, not once per
+// worker. Correctness does not depend on the shard count; it only bounds
+// lock contention.
+
+// cacheShardCount must be a power of two (the shard index is a bitmask).
+const cacheShardCount = 16
+
+type cacheEntry struct {
+	key string
+	vec sparse.Vector
+}
+
+// cacheShard is one mutex-guarded slice of the cache: a map for lookup and
+// an LRU list for eviction order, with byte accounting local to the shard.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	bytes   int64      // guarded by mu
+}
+
+func (sh *cacheShard) get(key string) (sparse.Vector, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		return sparse.Vector{}, false
+	}
+	sh.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).vec, true
+}
+
+// sharedCacheState is the state every view of one cached materializer
+// shares: the shard set (warm entries), the singleflight group, a traverser
+// pool and the aggregated counters. All counter fields are atomic so that
+// Stats/CacheStats totals are exact under concurrency.
+type sharedCacheState struct {
+	g        *hin.Graph
+	maxBytes int64
+	shards   [cacheShardCount]cacheShard
+	flight   flightGroup
+
+	// traversers pools per-goroutine scratch space for cache misses
+	// (metapath.Traverser is not safe for concurrent use).
+	traversers sync.Pool
+
+	// victim rotates eviction across shards (approximate global LRU).
+	victim atomic.Uint64
+
+	bytes     atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	deduped   atomic.Int64
+
+	indexedNs     atomic.Int64
+	traversalNs   atomic.Int64
+	indexedVecs   atomic.Int64
+	traversedVecs atomic.Int64
+}
+
+func newSharedCacheState(g *hin.Graph, maxBytes int64) *sharedCacheState {
+	st := &sharedCacheState{g: g, maxBytes: maxBytes}
+	st.traversers.New = func() any { return metapath.NewTraverser(g) }
+	for i := range st.shards {
+		st.shards[i].entries = make(map[string]*list.Element)
+		st.shards[i].order = list.New()
+	}
+	return st
+}
+
+// shard maps a cache key to its shard by FNV-1a hash.
+func (st *sharedCacheState) shard(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &st.shards[h&(cacheShardCount-1)]
+}
+
+func cacheEntrySize(key string, vec sparse.Vector) int64 {
+	return int64(vec.Bytes()) + indexEntryOverhead + int64(len(key))
+}
+
+// lookup probes the cache, charging probe time and a hit to the counters.
+func (st *sharedCacheState) lookup(key string) (sparse.Vector, bool) {
+	start := time.Now()
+	vec, ok := st.shard(key).get(key)
+	if ok {
+		st.indexedNs.Add(time.Since(start).Nanoseconds())
+		st.indexedVecs.Add(1)
+		st.hits.Add(1)
+	}
+	return vec, ok
+}
+
+// load resolves a miss: at most one goroutine per key traverses the
+// network; every other concurrent caller for the same key waits for that
+// result. The leader re-checks the cache inside the flight, so a load that
+// raced with a completed insert is served warm too.
+func (st *sharedCacheState) load(p metapath.Path, v hin.VertexID, key string) (sparse.Vector, error) {
+	start := time.Now()
+	sh := st.shard(key)
+	traversed := false
+	vec, err := st.flight.do(key, func() (sparse.Vector, error) {
+		if vec, ok := sh.get(key); ok {
+			return vec, nil
+		}
+		traversed = true
+		tr := st.traversers.Get().(*metapath.Traverser)
+		vec, err := tr.NeighborVector(p, v)
+		st.traversers.Put(tr)
+		if err != nil {
+			return sparse.Vector{}, err
+		}
+		st.insert(key, vec)
+		return vec, nil
+	})
+	elapsed := time.Since(start).Nanoseconds()
+	if traversed {
+		// This goroutine led the flight and traversed the network.
+		st.traversalNs.Add(elapsed)
+		st.traversedVecs.Add(1)
+		st.misses.Add(1)
+	} else {
+		// Served by another goroutine's in-flight traversal (or by the
+		// re-check): no network work was done on this call, so it counts as
+		// a warm load, with Deduped recording the coalescing.
+		st.indexedNs.Add(elapsed)
+		st.indexedVecs.Add(1)
+		st.hits.Add(1)
+		st.deduped.Add(1)
+	}
+	return vec, err
+}
+
+// insert stores a vector, superseding any entry already present under the
+// same key (its element is unlinked and its bytes reclaimed — with
+// singleflight this is rare, but eviction between a flight's re-check and
+// its insert can race a second flight for the same key). The global byte
+// budget is then enforced by evicting LRU tails, rotating across shards.
+func (st *sharedCacheState) insert(key string, vec sparse.Vector) {
+	size := cacheEntrySize(key, vec)
+	if size > st.maxBytes {
+		return // larger than the whole cache: do not thrash
+	}
+	sh := st.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		old := el.Value.(*cacheEntry)
+		oldSize := cacheEntrySize(old.key, old.vec)
+		sh.order.Remove(el)
+		delete(sh.entries, key)
+		sh.bytes -= oldSize
+		st.bytes.Add(-oldSize)
+	}
+	sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, vec: vec})
+	sh.bytes += size
+	sh.mu.Unlock()
+	st.bytes.Add(size)
+	for st.bytes.Load() > st.maxBytes {
+		if !st.evictOne() {
+			break
+		}
+	}
+}
+
+// evictOne drops the LRU tail of the next non-empty shard in rotation.
+// Per-shard LRU with a rotating victim approximates global LRU while never
+// holding more than one shard lock at a time.
+func (st *sharedCacheState) evictOne() bool {
+	for i := 0; i < cacheShardCount; i++ {
+		sh := &st.shards[st.victim.Add(1)&(cacheShardCount-1)]
+		sh.mu.Lock()
+		tail := sh.order.Back()
+		if tail == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		e := tail.Value.(*cacheEntry)
+		size := cacheEntrySize(e.key, e.vec)
+		sh.order.Remove(tail)
+		delete(sh.entries, e.key)
+		sh.bytes -= size
+		sh.mu.Unlock()
+		st.bytes.Add(-size)
+		st.evictions.Add(1)
+		return true
+	}
+	return false
+}
+
+func (st *sharedCacheState) matStats() MatStats {
+	return MatStats{
+		IndexedTime:      time.Duration(st.indexedNs.Load()),
+		TraversalTime:    time.Duration(st.traversalNs.Load()),
+		IndexedVectors:   st.indexedVecs.Load(),
+		TraversedVectors: st.traversedVecs.Load(),
+	}
+}
+
+func (st *sharedCacheState) cacheStats() CacheStats {
+	return CacheStats{
+		Hits:      st.hits.Load(),
+		Misses:    st.misses.Load(),
+		Evictions: st.evictions.Load(),
+		Deduped:   st.deduped.Load(),
+		Bytes:     st.bytes.Load(),
+	}
+}
+
+// recomputeBytes walks every shard and re-sums entry sizes; tests use it to
+// verify the atomic byte accounting against ground truth.
+func (st *sharedCacheState) recomputeBytes() int64 {
+	var total int64
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			total += cacheEntrySize(e.key, e.vec)
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Singleflight
+
+// flightCall is one in-flight materialization; waiters block on wg.
+type flightCall struct {
+	wg  sync.WaitGroup
+	vec sparse.Vector
+	err error
+}
+
+// flightGroup deduplicates concurrent loads per key (a minimal
+// singleflight: no external dependency, vector-typed results).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// do runs fn once per key among concurrent callers; every caller receives
+// the leader's result. fn runs outside the group lock.
+func (fg *flightGroup) do(key string, fn func() (sparse.Vector, error)) (sparse.Vector, error) {
+	fg.mu.Lock()
+	if fg.m == nil {
+		fg.m = make(map[string]*flightCall)
+	}
+	if call, ok := fg.m[key]; ok {
+		fg.mu.Unlock()
+		call.wg.Wait()
+		return call.vec, call.err
+	}
+	call := &flightCall{}
+	call.wg.Add(1)
+	fg.m[key] = call
+	fg.mu.Unlock()
+
+	call.vec, call.err = fn()
+
+	fg.mu.Lock()
+	delete(fg.m, key)
+	fg.mu.Unlock()
+	call.wg.Done()
+	return call.vec, call.err
+}

@@ -54,7 +54,6 @@ func (e *Engine) SuggestFeatures(src string, maxHops int) ([]Suggestion, error) 
 
 // SuggestFeaturesQuery is SuggestFeatures for a parsed query.
 func (e *Engine) SuggestFeaturesQuery(q *oql.Query, maxHops int) ([]Suggestion, error) {
-	e.resetCtx()
 	if maxHops < 2 {
 		maxHops = 2
 	}

@@ -210,12 +210,17 @@ func NewSPMVertices(g *Graph, vertices []VertexID) Materializer {
 
 // NewCached returns a materializer that memoizes neighbor vectors in an
 // LRU cache bounded to maxBytes: no offline indexing phase, but repeated
-// workloads approach PM speed for their hot vertices.
+// workloads approach PM speed for their hot vertices. The cache is sharded
+// and safe for concurrent use from any number of goroutines; concurrent
+// misses on the same vector are deduplicated so the network is traversed
+// once. Views made with NewMaterializerView share the same warm cache.
 func NewCached(g *Graph, maxBytes int64) (Materializer, error) {
 	return core.NewCached(g, maxBytes)
 }
 
 // CacheStats reports hit/miss/eviction counters of a cached materializer.
+// Under concurrent use Deduped counts loads that were coalesced into
+// another goroutine's in-flight traversal (a subset of Hits).
 type CacheStats = core.CacheStats
 
 // CacheStatsOf extracts cache counters from a NewCached materializer.
@@ -305,13 +310,34 @@ type (
 )
 
 // ExecuteBatch runs queries in parallel with a worker pool, sharing the
-// given materializer's index read-only across workers.
+// given materializer across workers via views: PM/SPM indexes read-only,
+// cached materializers warm — one worker's traversal is every other
+// worker's cache hit.
 func ExecuteBatch(g *Graph, queries []string, opts BatchOptions) ([]BatchResult, error) {
 	return core.ExecuteBatch(g, queries, opts)
 }
 
-// NewMaterializerView returns a concurrency-safe view sharing m's index.
+// NewMaterializerView returns a materializer that shares m's pre-computed
+// state but is safe to use concurrently with other views: PM/SPM views
+// share the immutable index with private traversal scratch; cached views
+// share the warm cache itself (entries and stats). See DESIGN.md's
+// concurrency contract.
 func NewMaterializerView(m Materializer) (Materializer, error) { return core.NewView(m) }
+
+// Serving (a resident worker pool for online query traffic, sharing one
+// materializer across workers — the concurrent complement to ExecuteBatch).
+type (
+	ServePool    = core.ServePool
+	ServeOptions = core.ServeOptions
+	ServeStats   = core.ServeStats
+)
+
+// NewServePool starts a bounded worker pool over g that accepts queries
+// from any number of goroutines via ServePool.Execute. Close the pool to
+// release its workers.
+func NewServePool(g *Graph, opts ServeOptions) (*ServePool, error) {
+	return core.NewServePool(g, opts)
+}
 
 // ScoreVectors scores candidate neighbor vectors against reference vectors
 // under a measure, without an engine (useful for custom feature pipelines).
