@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments examples clean
+.PHONY: all build vet test race cover bench profile fuzz experiments examples clean
 
 all: build vet test
 
@@ -23,6 +23,16 @@ cover:
 
 bench:
 	$(GO) test -run XXX -bench=. -benchmem .
+
+# Benchmarks under the profiler: CPU and heap profiles (plus the test binary
+# needed to read them) land in results/ for `go tool pprof`.
+PROFILE_BENCH ?= BenchmarkFig3Strategies
+profile:
+	mkdir -p results
+	$(GO) test -run XXX -bench=$(PROFILE_BENCH) -benchmem \
+		-cpuprofile results/cpu.prof -memprofile results/mem.prof \
+		-o results/netout.test .
+	@echo "profiles written: go tool pprof results/netout.test results/cpu.prof"
 
 # Short fuzzing passes over the three parsers (regression seeds always run
 # as part of `make test`).

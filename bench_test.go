@@ -428,15 +428,12 @@ func BenchmarkAblationSharedCache(b *testing.B) {
 		wg.Wait()
 	}
 	hitPct := func(stats []netout.CacheStats) float64 {
-		var hits, total int64
+		var agg netout.CacheStats
 		for _, cs := range stats {
-			hits += cs.Hits
-			total += cs.Hits + cs.Misses
+			agg.Hits += cs.Hits
+			agg.Misses += cs.Misses
 		}
-		if total == 0 {
-			return 0
-		}
-		return 100 * float64(hits) / float64(total)
+		return 100 * agg.HitRate()
 	}
 
 	b.Run("shared", func(b *testing.B) {

@@ -74,7 +74,7 @@ JUDGED BY author.paper.venue, author.paper.author : 2.0 TOP 10;`, man.Hub)
 		}
 		extra := ""
 		if cs, ok := netout.CacheStatsOf(s.mat); ok {
-			extra = fmt.Sprintf("   (hits %d, misses %d, evictions %d)", cs.Hits, cs.Misses, cs.Evictions)
+			extra = "   (" + cs.String() + ")"
 		}
 		fmt.Printf("  %-14s %10.1f µs/query%s\n",
 			s.name, float64(total.Microseconds())/float64(len(q1)), extra)

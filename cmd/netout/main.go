@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -46,7 +47,8 @@ func main() {
 		combine     = flag.String("combine", "average", "multi-path combination: average or concat")
 		workers     = flag.Int("workers", 1, "parallel workers for -file query batches")
 		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
-		timing      = flag.Bool("timing", false, "print per-query timing breakdown")
+		timing      = flag.Bool("timing", false, "print per-query timing breakdown and phase trace")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/slow and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		jsonOut     = flag.Bool("json", false, "emit results as JSON instead of tables")
 		progressive = flag.Bool("progressive", false, "run queries progressively, printing top-k snapshots")
 		quiet       = flag.Bool("quiet", false, "suppress the banner")
@@ -105,10 +107,37 @@ func main() {
 			}
 		}
 	}
+	statsMat = mat
+
+	// The admin endpoint: Prometheus metrics, liveness, the slow-query log
+	// and pprof. It serves for as long as the process runs, so it is most
+	// useful with the REPL or long query files; one-shot runs still expose
+	// their final counters until exit.
+	var (
+		reg  *netout.MetricsRegistry
+		slow *netout.SlowLog
+	)
+	if *metricsAddr != "" {
+		reg = netout.DefaultMetrics()
+		slow = netout.NewSlowLog(16)
+		netout.RegisterProcessMetrics(reg)
+		netout.RegisterMaterializerMetrics(reg, mat)
+		srv := &http.Server{Addr: *metricsAddr, Handler: netout.NewAdminMux(reg, slow)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /debug/slow, /debug/pprof)\n", *metricsAddr)
+		}
+	}
+
 	eng := netout.NewEngine(g,
 		netout.WithMeasure(m),
 		netout.WithMaterializer(mat),
-		netout.WithCombination(comb))
+		netout.WithCombination(comb),
+		netout.WithObs(reg, slow))
 
 	switch {
 	case *explain != "":
@@ -123,6 +152,7 @@ func main() {
 	case len(queries) > 0 && *workers > 1:
 		results, err := netout.ExecuteBatch(g, queries, netout.BatchOptions{
 			Workers: *workers, Measure: m, Combination: comb, Materializer: mat,
+			Obs: reg, SlowLog: slow,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -268,19 +298,41 @@ func runOne(eng *netout.Engine, src string, timing bool) error {
 	return nil
 }
 
-// jsonResult is the machine-readable result shape emitted by -json.
+// jsonResult is the machine-readable result shape emitted by -json. With
+// -timing, the Figure 4 cost breakdown and the per-phase trace ride along,
+// so the two flags compose instead of -json silently dropping -timing.
 type jsonResult struct {
 	Entries        []jsonEntry `json:"entries"`
 	Skipped        int         `json:"skipped"`
 	CandidateCount int         `json:"candidates"`
 	ReferenceCount int         `json:"references"`
 	TotalMicros    int64       `json:"total_us"`
+	Timing         *jsonTiming `json:"timing,omitempty"`
+	Trace          []jsonSpan  `json:"trace,omitempty"`
 }
 
 type jsonEntry struct {
 	Rank  int     `json:"rank"`
 	Name  string  `json:"name"`
 	Score float64 `json:"score"`
+}
+
+type jsonTiming struct {
+	SetRetrievalUs   int64 `json:"set_retrieval_us"`
+	TraversalUs      int64 `json:"traversal_us"`
+	TraversedVectors int64 `json:"traversed_vectors"`
+	IndexedUs        int64 `json:"indexed_us"`
+	IndexedVectors   int64 `json:"indexed_vectors"`
+	ScoringUs        int64 `json:"scoring_us"`
+}
+
+type jsonSpan struct {
+	Phase            string `json:"phase"`
+	DurationUs       int64  `json:"duration_us"`
+	TraversedVectors int64  `json:"traversed_vectors,omitempty"`
+	IndexedVectors   int64  `json:"indexed_vectors,omitempty"`
+	CacheHits        int64  `json:"cache_hits,omitempty"`
+	CacheMisses      int64  `json:"cache_misses,omitempty"`
 }
 
 func printResult(w io.Writer, res *netout.Result, timing bool) {
@@ -294,6 +346,29 @@ func printResult(w io.Writer, res *netout.Result, timing bool) {
 		for i, e := range res.Entries {
 			jr.Entries = append(jr.Entries, jsonEntry{Rank: i + 1, Name: e.Name, Score: e.Score})
 		}
+		if timing {
+			t := res.Timing
+			jr.Timing = &jsonTiming{
+				SetRetrievalUs:   t.SetRetrieval.Microseconds(),
+				TraversalUs:      t.NotIndexed.Microseconds(),
+				TraversedVectors: t.TraversedVectors,
+				IndexedUs:        t.Indexed.Microseconds(),
+				IndexedVectors:   t.IndexedVectors,
+				ScoringUs:        t.Scoring.Microseconds(),
+			}
+			if res.Trace != nil {
+				for _, s := range res.Trace.Spans {
+					jr.Trace = append(jr.Trace, jsonSpan{
+						Phase:            s.Phase,
+						DurationUs:       s.Duration.Microseconds(),
+						TraversedVectors: s.Stats.TraversedVectors,
+						IndexedVectors:   s.Stats.IndexedVectors,
+						CacheHits:        s.Stats.CacheHits,
+						CacheMisses:      s.Stats.CacheMisses,
+					})
+				}
+			}
+		}
 		enc := json.NewEncoder(w)
 		if err := enc.Encode(jr); err != nil {
 			fmt.Fprintf(os.Stderr, "netout: encoding result: %v\n", err)
@@ -302,6 +377,10 @@ func printResult(w io.Writer, res *netout.Result, timing bool) {
 	}
 	printResultTable(w, res, timing)
 }
+
+// statsMat is the materializer whose cache counters the timing output
+// reports (set by main; nil in tests that call printResult directly).
+var statsMat netout.Materializer
 
 func printResultTable(w io.Writer, res *netout.Result, timing bool) {
 	fmt.Fprintf(w, "%-5s %-12s %s\n", "rank", "score", "name")
@@ -320,6 +399,14 @@ func printResultTable(w io.Writer, res *netout.Result, timing bool) {
 			t.NotIndexed.Round(time.Microsecond), t.TraversedVectors,
 			t.Indexed.Round(time.Microsecond), t.IndexedVectors,
 			t.Scoring.Round(time.Microsecond))
+		if res.Trace != nil {
+			fmt.Fprint(w, res.Trace.Format())
+		}
+		if statsMat != nil {
+			if cs, ok := netout.CacheStatsOf(statsMat); ok {
+				fmt.Fprintf(w, "cache: %s\n", cs)
+			}
+		}
 	}
 }
 

@@ -130,10 +130,29 @@ func TestPrintResult(t *testing.T) {
 	var buf bytes.Buffer
 	printResult(&buf, res, true)
 	out := buf.String()
-	for _, want := range []string{"rank", "timing:", "candidates"} {
+	for _, want := range []string{"rank", "timing:", "candidates", "trace: total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+
+	// With a cached materializer wired in, -timing also reports cache stats
+	// via CacheStats.String.
+	mat, err := netout.NewCached(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsMat = mat
+	defer func() { statsMat = nil }()
+	eng2 := netout.NewEngine(g, netout.WithMaterializer(mat))
+	res2, err := eng2.Execute(`FIND OUTLIERS FROM author{"Christos Hub"}.paper.author JUDGED BY author.paper.venue TOP 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	printResult(&buf, res2, true)
+	if !strings.Contains(buf.String(), "cache: ") || !strings.Contains(buf.String(), "hit rate") {
+		t.Errorf("timing output missing cache stats:\n%s", buf.String())
 	}
 }
 
@@ -220,5 +239,27 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if len(jr.Entries) != 2 || jr.Entries[0].Rank != 1 || jr.CandidateCount == 0 {
 		t.Fatalf("json result = %+v", jr)
+	}
+	if jr.Timing != nil || jr.Trace != nil {
+		t.Fatalf("timing/trace emitted without -timing: %+v", jr)
+	}
+
+	// -json -timing composes: the cost breakdown and phase trace ride along.
+	buf.Reset()
+	printResult(&buf, res, true)
+	if err := json.Unmarshal(buf.Bytes(), &jr); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if jr.Timing == nil {
+		t.Fatal("-json -timing missing timing block")
+	}
+	wantPhases := []string{"parse", "validate", "plan", "materialize", "score", "rank"}
+	if len(jr.Trace) != len(wantPhases) {
+		t.Fatalf("trace = %+v, want %d phases", jr.Trace, len(wantPhases))
+	}
+	for i, want := range wantPhases {
+		if jr.Trace[i].Phase != want {
+			t.Fatalf("trace phase %d = %q, want %q", i, jr.Trace[i].Phase, want)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
+	"netout/internal/obs"
 )
 
 // Batch execution answers the paper's third motivating challenge — "data
@@ -55,6 +56,11 @@ type BatchOptions struct {
 	// Materializer, if set, is the shared strategy whose index the workers
 	// reuse through views; nil means each worker gets its own baseline.
 	Materializer Materializer
+	// Obs and SlowLog, if set, are wired into every worker engine: each
+	// query observes its latency, phase breakdown and outcome into Obs and
+	// offers itself to SlowLog (see Engine's WithObs).
+	Obs     *obs.Registry
+	SlowLog *obs.SlowLog
 }
 
 // BatchResult pairs one query's outcome with its position and any error.
@@ -93,7 +99,11 @@ func ExecuteBatch(g *hin.Graph, queries []string, opts BatchOptions) ([]BatchRes
 		engines[w] = NewEngine(g,
 			WithMeasure(opts.Measure),
 			WithCombination(opts.Combination),
-			WithMaterializer(mat))
+			WithMaterializer(mat),
+			WithObs(opts.Obs, opts.SlowLog))
+	}
+	if opts.Obs != nil && opts.Materializer != nil {
+		RegisterMaterializerMetrics(opts.Obs, opts.Materializer)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -36,6 +36,22 @@ type CacheStats struct {
 	Bytes   int64
 }
 
+// HitRate returns Hits/(Hits+Misses) in [0,1], or 0 before any load —
+// the zero-traffic guard every display site would otherwise hand-roll.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the counters for terminal display.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits %d, misses %d (%.1f%% hit rate), deduped %d, evictions %d, %.1f MB resident",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Deduped, s.Evictions, float64(s.Bytes)/1e6)
+}
+
 // NewCached returns a materializer that memoizes neighbor vectors in an
 // LRU cache bounded to maxBytes of vector payload (plus fixed per-entry
 // overhead). maxBytes must be positive.

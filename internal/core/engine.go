@@ -9,6 +9,7 @@ import (
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
+	"netout/internal/obs"
 	"netout/internal/oql"
 	"netout/internal/sparse"
 )
@@ -27,6 +28,15 @@ type Engine struct {
 	// ctx is the active query's context; set by ExecuteQueryContext and
 	// checked at per-vertex granularity during materialization.
 	ctx context.Context
+
+	// obs and slow, when set via WithObs, receive per-query metrics (latency
+	// histograms, outcome counters, vector counters) and slow-query entries.
+	obs  *obs.Registry
+	slow *obs.SlowLog
+	// tracer carries a trace started by a text entry point (which records
+	// the parse phase) into ExecuteQueryContext; nil means the query-level
+	// entry point starts its own.
+	tracer *obs.Tracer
 }
 
 // checkCtx reports the context error, if any (nil context never cancels).
@@ -45,6 +55,14 @@ func WithMeasure(m Measure) Option { return func(e *Engine) { e.measure = m } }
 
 // WithMaterializer selects the materialization strategy (default Baseline).
 func WithMaterializer(m Materializer) Option { return func(e *Engine) { e.mat = m } }
+
+// WithObs connects the engine to an observability registry and (optionally)
+// a slow-query log: every query observes its latency and phase breakdown
+// into reg's instruments, and completed queries are offered to slow. Either
+// argument may be nil. Queries always carry a Trace regardless.
+func WithObs(reg *obs.Registry, slow *obs.SlowLog) Option {
+	return func(e *Engine) { e.obs, e.slow = reg, slow }
+}
 
 // NewEngine creates an engine over g with the given options.
 func NewEngine(g *hin.Graph, opts ...Option) *Engine {
@@ -105,15 +123,16 @@ type Result struct {
 	// CandidateCount and ReferenceCount are the sizes of Sc and Sr.
 	CandidateCount, ReferenceCount int
 	Timing                         Timing
+	// Trace is the per-phase breakdown (parse → validate → plan →
+	// materialize → score → rank); phases recorded contiguously, so their
+	// durations sum to the trace total. The parse span is present only for
+	// queries entered as text (Execute/ExecuteContext).
+	Trace *obs.Trace
 }
 
 // Execute parses, validates and runs a query given as OQL text.
 func (e *Engine) Execute(src string) (*Result, error) {
-	q, err := oql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return e.ExecuteQuery(q)
+	return e.ExecuteContext(context.Background(), src)
 }
 
 // ExecuteContext is Execute with cancellation: the query aborts with the
@@ -121,11 +140,60 @@ func (e *Engine) Execute(src string) (*Result, error) {
 // interactivity the paper motivates ("react to outliers or further
 // elaborate their queries") needs runaway queries to be abortable.
 func (e *Engine) ExecuteContext(ctx context.Context, src string) (*Result, error) {
+	tr := obs.StartTrace()
 	q, err := oql.Parse(src)
 	if err != nil {
+		if e.obs != nil {
+			e.obs.Counter(`netout_queries_total{outcome="error"}`, queriesHelp).Inc()
+		}
 		return nil, err
 	}
+	tr.EndPhase("parse", obs.SpanStats{})
+	e.tracer = tr
 	return e.ExecuteQueryContext(ctx, q)
+}
+
+const queriesHelp = "Queries executed by outcome (parse/validation failures and cancellations count as errors)."
+
+// takeTracer claims the trace a text entry point started, or starts a fresh
+// one for queries entered pre-parsed.
+func (e *Engine) takeTracer() *obs.Tracer {
+	tr := e.tracer
+	e.tracer = nil
+	if tr == nil {
+		tr = obs.StartTrace()
+	}
+	return tr
+}
+
+// observeQuery seals the trace onto the result and feeds the configured
+// registry and slow-query log.
+func (e *Engine) observeQuery(tr *obs.Tracer, q *oql.Query, res *Result, err error) {
+	trace := tr.Finish()
+	if res != nil {
+		res.Trace = trace
+	}
+	if e.obs != nil {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		e.obs.Counter(`netout_queries_total{outcome="`+outcome+`"}`, queriesHelp).Inc()
+		e.obs.Histogram("netout_query_seconds", "Query wall time.", nil).Observe(trace.Total.Seconds())
+		for _, s := range trace.Spans {
+			e.obs.Histogram(`netout_query_phase_seconds{phase="`+s.Phase+`"}`,
+				"Per-phase query wall time.", nil).Observe(s.Duration.Seconds())
+		}
+		if s, ok := trace.Span("materialize"); ok {
+			e.obs.Counter("netout_vectors_traversed_total",
+				"Neighbor vectors materialized by network traversal.").Add(s.Stats.TraversedVectors)
+			e.obs.Counter("netout_vectors_indexed_total",
+				"Neighbor vectors served from an index or cache.").Add(s.Stats.IndexedVectors)
+		}
+	}
+	if e.slow != nil && err == nil {
+		e.slow.Record(q.String(), trace.Total, trace)
+	}
 }
 
 // ExecuteQuery runs a parsed query.
@@ -134,8 +202,10 @@ func (e *Engine) ExecuteQuery(q *oql.Query) (*Result, error) {
 }
 
 // ExecuteQueryContext runs a parsed query with cancellation.
-func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result, error) {
+func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Result, err error) {
 	start := time.Now()
+	tr := e.takeTracer()
+	defer func() { e.observeQuery(tr, q, res, err) }()
 	e.ctx = ctx
 	// The context must not outlive the query: a later direct call to a
 	// context-less entry point (EvalSet, Explain, ...) would otherwise
@@ -149,7 +219,9 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 	if _, err := oql.Validate(q, e.g.Schema()); err != nil {
 		return nil, err
 	}
+	tr.EndPhase("validate", obs.SpanStats{})
 
+	// Plan: resolve the candidate/reference sets and the feature meta-paths.
 	setStart := time.Now()
 	cands, err := e.EvalSet(q.From)
 	if err != nil {
@@ -162,27 +234,40 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 			return nil, err
 		}
 	}
-	res := &Result{
-		CandidateCount: len(cands),
-		ReferenceCount: len(refs),
-	}
-	res.Timing.SetRetrieval = time.Since(setStart)
-
-	// Materialize Φ for Sr and Sc under every feature meta-path.
-	candPerPath := make([][]sparse.Vector, len(q.Features))
-	refPerPath := make([][]sparse.Vector, len(q.Features))
+	paths := make([]metapath.Path, len(q.Features))
 	weights := make([]float64, len(q.Features))
 	for m, f := range q.Features {
-		p, err := metapath.FromNames(e.g.Schema(), f.Segments...)
-		if err != nil {
-			return nil, err
-		}
-		candPerPath[m], refPerPath[m], err = e.materializeFeature(p, cands, refs, &res.Timing)
-		if err != nil {
+		if paths[m], err = metapath.FromNames(e.g.Schema(), f.Segments...); err != nil {
 			return nil, err
 		}
 		weights[m] = f.Weight
 	}
+	res = &Result{
+		CandidateCount: len(cands),
+		ReferenceCount: len(refs),
+	}
+	res.Timing.SetRetrieval = time.Since(setStart)
+	tr.EndPhase("plan", obs.SpanStats{})
+
+	// Materialize Φ for Sr and Sc under every feature meta-path.
+	matBefore := e.mat.Stats()
+	cacheBefore, _ := CacheStatsOf(e.mat)
+	candPerPath := make([][]sparse.Vector, len(q.Features))
+	refPerPath := make([][]sparse.Vector, len(q.Features))
+	for m := range q.Features {
+		candPerPath[m], refPerPath[m], err = e.materializeFeature(paths[m], cands, refs, &res.Timing)
+		if err != nil {
+			return nil, err
+		}
+	}
+	matDelta := e.mat.Stats().Sub(matBefore)
+	cacheAfter, _ := CacheStatsOf(e.mat)
+	tr.EndPhase("materialize", obs.SpanStats{
+		TraversedVectors: matDelta.TraversedVectors,
+		IndexedVectors:   matDelta.IndexedVectors,
+		CacheHits:        cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:      cacheAfter.Misses - cacheBefore.Misses,
+	})
 
 	// Combine across paths (Section 5.1 leaves the method open and names
 	// two: independent per-path scores averaged, or connectivity redefined
@@ -224,6 +309,7 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 			}
 		}
 	}
+	tr.EndPhase("score", obs.SpanStats{})
 
 	res.Entries = make([]Entry, 0, len(cands))
 	for i, v := range cands {
@@ -246,6 +332,7 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 	if q.TopK > 0 && len(res.Entries) > q.TopK {
 		res.Entries = res.Entries[:q.TopK]
 	}
+	tr.EndPhase("rank", obs.SpanStats{})
 	res.Timing.Scoring += time.Since(scoreStart)
 	res.Timing.Total = time.Since(start)
 	return res, nil

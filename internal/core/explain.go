@@ -7,6 +7,7 @@ import (
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
+	"netout/internal/obs"
 	"netout/internal/oql"
 	"netout/internal/sparse"
 )
@@ -63,21 +64,28 @@ type Explanation struct {
 	// Score is the candidate's combined score as Execute would report it.
 	Score float64
 	Paths []PathExplanation
+	// Trace is the explanation's own phase breakdown (validate → plan →
+	// materialize → score), printed by Format.
+	Trace *obs.Trace
 }
 
 // Explain runs the query's set resolution and explains the given candidate
 // vertex (by name, within the candidate element type). topN bounds the
 // contributions listed per path (0 means all).
 func (e *Engine) Explain(src string, candidateName string, topN int) (*Explanation, error) {
+	tr := obs.StartTrace()
 	q, err := oql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	tr.EndPhase("parse", obs.SpanStats{})
+	e.tracer = tr
 	return e.ExplainQuery(q, candidateName, topN)
 }
 
 // ExplainQuery is Explain for a parsed query.
 func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Explanation, error) {
+	tr := e.takeTracer()
 	if e.measure != MeasureNetOut {
 		return nil, fmt.Errorf("core: explanations are defined for the NetOut measure (engine uses %s)", e.measure)
 	}
@@ -85,6 +93,7 @@ func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Ex
 	if err != nil {
 		return nil, err
 	}
+	tr.EndPhase("validate", obs.SpanStats{})
 	target, ok := e.g.VertexByName(elemType, candidateName)
 	if !ok {
 		return nil, fmt.Errorf("core: no %s named %q", e.g.Schema().TypeName(elemType), candidateName)
@@ -102,31 +111,52 @@ func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Ex
 			return nil, err
 		}
 	}
+	paths := make([]metapath.Path, len(q.Features))
+	for m, f := range q.Features {
+		if paths[m], err = metapath.FromNames(e.g.Schema(), f.Segments...); err != nil {
+			return nil, err
+		}
+	}
+	tr.EndPhase("plan", obs.SpanStats{})
+
+	// Materialize the candidate's Φ and the reference sum under every path
+	// up front, so the trace's materialize phase covers all network work.
+	matBefore := e.mat.Stats()
+	cacheBefore, _ := CacheStatsOf(e.mat)
+	phis := make([]sparse.Vector, len(q.Features))
+	refSums := make([]sparse.Vector, len(q.Features))
+	for m := range q.Features {
+		phi, err := e.mat.NeighborVector(paths[m], target)
+		if err != nil {
+			return nil, err
+		}
+		phis[m] = phi
+		refSum := sparse.NewAccumulator(64)
+		for _, r := range refs {
+			rv, err := e.mat.NeighborVector(paths[m], r)
+			if err != nil {
+				return nil, err
+			}
+			refSum.AddVector(rv, 1)
+		}
+		refSums[m] = refSum.Take()
+	}
+	matDelta := e.mat.Stats().Sub(matBefore)
+	cacheAfter, _ := CacheStatsOf(e.mat)
+	tr.EndPhase("materialize", obs.SpanStats{
+		TraversedVectors: matDelta.TraversedVectors,
+		IndexedVectors:   matDelta.IndexedVectors,
+		CacheHits:        cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:      cacheAfter.Misses - cacheBefore.Misses,
+	})
 
 	out := &Explanation{Vertex: target, Name: candidateName}
 	// Matches Execute's CombineAverage semantics: the combined score is
 	// renormalized by the summed weight of the paths that characterize the
 	// candidate, not by the total feature weight.
 	seenWeight := 0.0
-	for _, f := range q.Features {
-		p, err := metapath.FromNames(e.g.Schema(), f.Segments...)
-		if err != nil {
-			return nil, err
-		}
-		phi, err := e.mat.NeighborVector(p, target)
-		if err != nil {
-			return nil, err
-		}
-		refSum := sparse.NewAccumulator(64)
-		for _, r := range refs {
-			rv, err := e.mat.NeighborVector(p, r)
-			if err != nil {
-				return nil, err
-			}
-			refSum.AddVector(rv, 1)
-		}
-		s := refSum.Take()
-
+	for m, f := range q.Features {
+		phi, s := phis[m], refSums[m]
 		pe := PathExplanation{
 			Path:       strings.Join(f.Segments, "."),
 			Weight:     f.Weight,
@@ -164,6 +194,8 @@ func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Ex
 	if seenWeight > 0 {
 		out.Score /= seenWeight
 	}
+	tr.EndPhase("score", obs.SpanStats{})
+	out.Trace = tr.Finish()
 	return out, nil
 }
 
@@ -183,6 +215,11 @@ func (x *Explanation) Format() string {
 		for _, c := range p.Contributions {
 			fmt.Fprintf(&sb, "    %-28s %12.0f %9.1f%% %12.0f %10.4f\n",
 				c.Name, c.CandidateCount, 100*c.CandidateShare, c.ReferenceCount, c.Omega)
+		}
+	}
+	if x.Trace != nil {
+		for _, line := range strings.Split(strings.TrimRight(x.Trace.Format(), "\n"), "\n") {
+			fmt.Fprintf(&sb, "  %s\n", line)
 		}
 	}
 	return sb.String()

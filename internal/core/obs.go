@@ -1,0 +1,57 @@
+package core
+
+import (
+	"netout/internal/obs"
+)
+
+// Registry-backed instruments over the existing stats structs. The design
+// rule: wherever a stats struct is already the source of truth (atomic
+// counters in the sharded cache, the serve pool), the registry exposes it
+// through CounterFunc/GaugeFunc reading the same atomics at scrape time —
+// never a second counter that could drift. A /metrics scrape therefore
+// matches Stats()/CacheStats()/ServeStats exactly, by construction.
+
+// RegisterMaterializerMetrics exposes a materializer on reg:
+//
+//	netout_index_bytes                  gauge (all strategies)
+//	netout_cache_hits_total             counter ┐
+//	netout_cache_misses_total           counter │
+//	netout_cache_deduped_total          counter │ cached strategy only
+//	netout_cache_evictions_total        counter │ (read from the shared
+//	netout_cache_bytes                  gauge   │  atomic counters)
+//	netout_mat_traversed_vectors_total  counter │
+//	netout_mat_indexed_vectors_total    counter │
+//	netout_mat_traversal_seconds_total  counter │
+//	netout_mat_indexed_seconds_total    counter ┘
+//
+// Only the cached materializer's full MatStats are exported: its counters
+// are shared atomics, safe to read from the scrape goroutine. Baseline and
+// PM/SPM carry unsynchronized per-view stats, so for those only the index
+// size — immutable after construction — is exposed.
+func RegisterMaterializerMetrics(reg *obs.Registry, m Materializer) {
+	reg.GaugeFunc("netout_index_bytes", "In-memory size of the pre-materialized index or cache.",
+		func() float64 { return float64(m.IndexBytes()) })
+	c, ok := m.(*cached)
+	if !ok {
+		return
+	}
+	st := c.state
+	reg.CounterFunc("netout_cache_hits_total", "Cache hits (including singleflight-deduplicated loads).",
+		func() float64 { return float64(st.hits.Load()) })
+	reg.CounterFunc("netout_cache_misses_total", "Cache misses (each one network traversal).",
+		func() float64 { return float64(st.misses.Load()) })
+	reg.CounterFunc("netout_cache_deduped_total", "Loads coalesced into another goroutine's in-flight traversal.",
+		func() float64 { return float64(st.deduped.Load()) })
+	reg.CounterFunc("netout_cache_evictions_total", "LRU evictions under the byte budget.",
+		func() float64 { return float64(st.evictions.Load()) })
+	reg.GaugeFunc("netout_cache_bytes", "Resident cache payload bytes.",
+		func() float64 { return float64(st.bytes.Load()) })
+	reg.CounterFunc("netout_mat_traversed_vectors_total", "Neighbor vectors materialized by network traversal.",
+		func() float64 { return float64(st.traversedVecs.Load()) })
+	reg.CounterFunc("netout_mat_indexed_vectors_total", "Neighbor vectors served warm from the cache.",
+		func() float64 { return float64(st.indexedVecs.Load()) })
+	reg.CounterFunc("netout_mat_traversal_seconds_total", "Seconds spent traversing the network for misses.",
+		func() float64 { return float64(st.traversalNs.Load()) / 1e9 })
+	reg.CounterFunc("netout_mat_indexed_seconds_total", "Seconds spent on warm loads and probes.",
+		func() float64 { return float64(st.indexedNs.Load()) / 1e9 })
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netout/internal/obs"
+	"netout/internal/oql"
+)
+
+// scrapeMetrics fetches url and parses the Prometheus text exposition into
+// series-name → value (names keep their label suffix).
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestServePoolMetricsMatchStats is the acceptance check for the metrics
+// layer: after a ServePool workload, a /metrics scrape must agree exactly
+// with ServeStats and CacheStats. The instruments are func-backed readers of
+// the same atomics, so any drift is a wiring bug.
+func TestServePoolMetricsMatchStats(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomBibGraph(r)
+	queries := randomQueries(r, g)
+
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(8)
+	mat, err := NewCached(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewServePool(g, ServeOptions{Workers: 3, Materializer: mat, Obs: reg, SlowLog: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Sequential submission keeps the engines' delta-based vector counters
+	// exact (concurrent queries would interleave their before/after Stats
+	// snapshots); the func-backed totals are exact either way.
+	for round := 0; round < 2; round++ {
+		for i, q := range queries {
+			if _, err := pool.Execute(nil, q); err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, err)
+			}
+		}
+	}
+	// One failure past the parser (unknown author name fails in the plan
+	// phase) so the error paths are exercised too.
+	if _, err := pool.Execute(nil, `FIND OUTLIERS FROM author{"No Such Author"} JUDGED BY author.paper.venue;`); err == nil {
+		t.Fatal("bad query should fail")
+	}
+
+	st := pool.Stats()
+	cs, ok := CacheStatsOf(mat)
+	if !ok {
+		t.Fatal("CacheStatsOf failed")
+	}
+	ms := mat.Stats()
+	if st.Served == 0 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want >0 served / 1 failed", st)
+	}
+
+	srv := httptest.NewServer(obs.NewAdminMux(reg, slow))
+	defer srv.Close()
+	m := scrapeMetrics(t, srv.URL+"/metrics")
+
+	// Pool traffic: scrape == ServeStats, exactly.
+	exact := map[string]float64{
+		"netout_serve_workers":             3,
+		"netout_serve_served_total":        float64(st.Served),
+		"netout_serve_failed_total":        float64(st.Failed),
+		"netout_serve_queue_seconds_total": float64(st.QueueWait.Nanoseconds()) / 1e9,
+		"netout_serve_execute_seconds_total": float64(st.Execute.Nanoseconds()) / 1e9,
+
+		// Shared cache: scrape == CacheStatsOf, exactly.
+		"netout_cache_hits_total":      float64(cs.Hits),
+		"netout_cache_misses_total":    float64(cs.Misses),
+		"netout_cache_deduped_total":   float64(cs.Deduped),
+		"netout_cache_evictions_total": float64(cs.Evictions),
+		"netout_cache_bytes":           float64(cs.Bytes),
+		"netout_index_bytes":           float64(mat.IndexBytes()),
+
+		// Materializer work: scrape == MatStats, exactly.
+		"netout_mat_traversed_vectors_total": float64(ms.TraversedVectors),
+		"netout_mat_indexed_vectors_total":   float64(ms.IndexedVectors),
+
+		// Engine outcome counters line up with the pool's (every failure here
+		// occurs past the parser, inside ExecuteQueryContext).
+		`netout_queries_total{outcome="ok"}`:    float64(st.Served),
+		`netout_queries_total{outcome="error"}`: float64(st.Failed),
+		"netout_query_seconds_count":            float64(st.Served + st.Failed),
+
+		// Sequential submission makes the per-query vector deltas sum to the
+		// materializer's own totals.
+		"netout_vectors_traversed_total": float64(ms.TraversedVectors),
+		"netout_vectors_indexed_total":   float64(ms.IndexedVectors),
+	}
+	for name, want := range exact {
+		got, ok := m[name]
+		if !ok {
+			t.Errorf("scrape is missing %s", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if cs.Hits == 0 {
+		t.Fatalf("repeated workload produced no cache hits: %+v", cs)
+	}
+	// The failed query dies in plan, before materialize: every served query
+	// (and only those) records a materialize span.
+	if got := m[`netout_query_phase_seconds_count{phase="materialize"}`]; got != float64(st.Served) {
+		t.Errorf("materialize phase count = %v, want %v", got, st.Served)
+	}
+
+	// The other admin surfaces.
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("/healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(slowBody), "FIND OUTLIERS") {
+		t.Fatalf("/debug/slow does not echo retained queries:\n%s", slowBody)
+	}
+}
+
+// TestResultTracePhases checks the acceptance criterion on traces: every
+// Result carries a contiguous phase breakdown whose durations sum to the
+// trace total (within 5%), with the materializer work attributed to the
+// materialize span.
+func TestResultTracePhases(t *testing.T) {
+	g := fig1Graph(t)
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(4)
+	eng := NewEngine(g, WithObs(reg, slow))
+
+	res, err := eng.Execute(`FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Result.Trace is nil")
+	}
+	wantPhases := []string{"parse", "validate", "plan", "materialize", "score", "rank"}
+	if len(res.Trace.Spans) != len(wantPhases) {
+		t.Fatalf("trace has %d spans, want %d: %+v", len(res.Trace.Spans), len(wantPhases), res.Trace.Spans)
+	}
+	for i, want := range wantPhases {
+		if res.Trace.Spans[i].Phase != want {
+			t.Fatalf("span %d = %q, want %q", i, res.Trace.Spans[i].Phase, want)
+		}
+	}
+	sum, total := res.Trace.PhaseSum(), res.Trace.Total
+	if sum > total || total-sum > total/20 {
+		t.Fatalf("phase sum %v vs total %v: off by more than 5%%", sum, total)
+	}
+	matSpan, ok := res.Trace.Span("materialize")
+	if !ok {
+		t.Fatal("no materialize span")
+	}
+	if matSpan.Stats.TraversedVectors != res.Timing.TraversedVectors ||
+		matSpan.Stats.IndexedVectors != res.Timing.IndexedVectors {
+		t.Fatalf("materialize span stats %+v disagree with Timing %+v", matSpan.Stats, res.Timing)
+	}
+
+	// Pre-parsed entry points trace too, minus the parse span.
+	q, err := oql.Parse(`FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.ExecuteQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace == nil || res2.Trace.Spans[0].Phase != "validate" {
+		t.Fatalf("pre-parsed trace = %+v, want to start at validate", res2.Trace)
+	}
+
+	// The slow log retained the successful queries.
+	if got := slow.Snapshot(); len(got) != 2 || !strings.Contains(got[0].Query, "FIND OUTLIERS") {
+		t.Fatalf("slow log = %+v, want both queries retained", got)
+	}
+
+	// Explanations carry their own trace, printed by Format.
+	x, err := eng.Explain(`FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`, "Zoe", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Trace == nil {
+		t.Fatal("Explanation.Trace is nil")
+	}
+	if !strings.Contains(x.Format(), "trace: total") {
+		t.Fatalf("Explanation.Format does not include the trace:\n%s", x.Format())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"netout/internal/hin"
+	"netout/internal/obs"
 )
 
 // ServePool is the serving front door for heavy query traffic: a bounded
@@ -43,6 +44,14 @@ type ServeOptions struct {
 	// (warm-shared for caches, read-only for PM/SPM indexes); nil means
 	// each worker gets its own baseline.
 	Materializer Materializer
+	// Obs, if set, receives the pool's metrics: served/failed totals and
+	// cumulative queue-wait/execute seconds (read from the same atomics
+	// Stats reports, so a scrape matches ServeStats exactly), the shared
+	// materializer's instruments, and every worker engine's per-query
+	// latency histograms.
+	Obs *obs.Registry
+	// SlowLog, if set, retains the pool's slowest queries with their traces.
+	SlowLog *obs.SlowLog
 }
 
 // ServeStats summarizes a pool's lifetime traffic.
@@ -51,9 +60,27 @@ type ServeStats struct {
 	// cancellations observed by a worker).
 	Served, Failed int64
 	// QueueWait is total time queries spent waiting for a free worker;
-	// Execute is total time spent executing. Divide by Served+Failed for
-	// per-query means.
+	// Execute is total time spent executing. MeanQueueWait and MeanExecute
+	// report the per-query means.
 	QueueWait, Execute time.Duration
+}
+
+// MeanQueueWait returns the mean time a query waited for a free worker,
+// or 0 before any query completed.
+func (s ServeStats) MeanQueueWait() time.Duration {
+	if n := s.Served + s.Failed; n > 0 {
+		return s.QueueWait / time.Duration(n)
+	}
+	return 0
+}
+
+// MeanExecute returns the mean query execution time, or 0 before any query
+// completed.
+func (s ServeStats) MeanExecute() time.Duration {
+	if n := s.Served + s.Failed; n > 0 {
+		return s.Execute / time.Duration(n)
+	}
+	return 0
 }
 
 type serveJob struct {
@@ -90,9 +117,16 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 		engines[w] = NewEngine(g,
 			WithMeasure(opts.Measure),
 			WithCombination(opts.Combination),
-			WithMaterializer(mat))
+			WithMaterializer(mat),
+			WithObs(opts.Obs, opts.SlowLog))
 	}
 	p := &ServePool{jobs: make(chan serveJob)}
+	if opts.Obs != nil {
+		p.registerMetrics(opts.Obs, workers)
+		if opts.Materializer != nil {
+			RegisterMaterializerMetrics(opts.Obs, opts.Materializer)
+		}
+	}
 	for _, eng := range engines {
 		p.wg.Add(1)
 		go func(eng *Engine) {
@@ -144,6 +178,21 @@ func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 		// into the buffered done channel.
 		return nil, ctx.Err()
 	}
+}
+
+// registerMetrics exposes the pool's traffic counters on reg, reading the
+// same atomics Stats snapshots so scrape and ServeStats agree exactly.
+func (p *ServePool) registerMetrics(reg *obs.Registry, workers int) {
+	reg.GaugeFunc("netout_serve_workers", "Resident worker count of the serve pool.",
+		func() float64 { return float64(workers) })
+	reg.CounterFunc("netout_serve_served_total", "Queries completed successfully by the serve pool.",
+		func() float64 { return float64(p.served.Load()) })
+	reg.CounterFunc("netout_serve_failed_total", "Queries that failed or were cancelled in the serve pool.",
+		func() float64 { return float64(p.failed.Load()) })
+	reg.CounterFunc("netout_serve_queue_seconds_total", "Total seconds queries spent waiting for a free worker.",
+		func() float64 { return float64(p.queueNs.Load()) / 1e9 })
+	reg.CounterFunc("netout_serve_execute_seconds_total", "Total seconds workers spent executing queries.",
+		func() float64 { return float64(p.executeNs.Load()) / 1e9 })
 }
 
 // Stats returns a snapshot of the pool's traffic counters.

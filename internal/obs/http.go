@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewAdminMux builds the serving admin endpoint:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      liveness probe (200 "ok")
+//	/debug/slow   the slow-query log, slowest first (may be nil)
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Mount it on a loopback or otherwise access-controlled address — pprof and
+// the slow log (which echoes query text) are operator surfaces, not public
+// ones.
+func NewAdminMux(reg *Registry, slow *SlowLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if slow == nil {
+			fmt.Fprintln(w, "slow-query log: not configured")
+			return
+		}
+		fmt.Fprint(w, slow.Format())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterProcessMetrics adds process-level gauges (uptime, goroutine
+// count, heap in use) to reg, read at scrape time.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("process_uptime_seconds", "Seconds since the process registered metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_inuse_bytes", "Bytes of heap memory in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+}

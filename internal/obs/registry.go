@@ -1,0 +1,343 @@
+// Package obs is the zero-dependency observability layer: a process-wide
+// metrics registry (atomic counters, gauges and fixed-bucket latency
+// histograms, exposed in Prometheus text format), per-query trace spans
+// recording the engine's phase breakdown, and a bounded slow-query log.
+// The paper's whole evaluation is a cost-accounting story (index time vs.
+// traversal time, index bytes, per-strategy latency — Figures 4–5, Tables
+// 4–6); this package makes those numbers continuously scrapeable from a
+// serving process instead of read manually from ad-hoc structs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge value.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefLatencyBuckets are the default histogram bucket upper bounds for query
+// latencies, in seconds: 100µs up to 10s, roughly logarithmic.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// Buckets are cumulative-upper-bound style ("le" semantics): an observation
+// v lands in the first bucket with v <= upper bound, with an implicit +Inf
+// bucket at the end.
+type Histogram struct {
+	upper   []float64 // ascending finite upper bounds
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Int64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding it, the same estimate Prometheus's
+// histogram_quantile computes. Observations in the +Inf bucket clamp to the
+// largest finite bound. Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.upper) { // +Inf bucket
+			return h.upper[len(h.upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		}
+		if n == 0 {
+			return h.upper[i]
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		return lo + (h.upper[i]-lo)*frac
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+type metric struct {
+	name   string // full name, possibly with a {k="v",...} label suffix
+	family string // name with the label suffix stripped
+	labels string // label body without braces ("" when unlabeled)
+	kind   metricKind
+	help   string
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() float64
+}
+
+// Registry is a set of named metrics. Metric names follow Prometheus
+// conventions and may carry a constant label suffix, e.g.
+// `netout_queries_total{outcome="ok"}`; the part before '{' is the metric
+// family (one # TYPE line per family in the exposition). All instruments
+// are safe for concurrent use; registration itself is also concurrency-safe.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// register returns the existing metric under name (panicking if it has a
+// different kind — mixing types under one name is a programming error, like
+// expvar) or creates it with mk.
+func (r *Registry) register(name, help string, kind metricKind, mk func(m *metric)) *metric {
+	family, labels := splitName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)",
+				name, kind.promType(), m.kind.promType()))
+		}
+		if kind == kindCounterFunc || kind == kindGaugeFunc {
+			mk(m) // func-backed metrics: last registration wins (pool restarts)
+		}
+		return m
+	}
+	m := &metric{name: name, family: family, labels: labels, kind: kind, help: help}
+	mk(m)
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, func(m *metric) {
+		if m.c == nil {
+			m.c = &Counter{}
+		}
+	}).c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, func(m *metric) {
+		if m.g == nil {
+			m.g = &Gauge{}
+		}
+	}).g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed with the given bucket upper bounds (nil means DefLatencyBuckets).
+// Buckets are fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, func(m *metric) {
+		if m.h == nil {
+			m.h = newHistogram(buckets)
+		}
+	}).h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. Use it to expose an existing atomic counter (a CacheStats or
+// ServeStats field) without double-counting: the scrape reads the same
+// source of truth the stats struct reports. Re-registering replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc, func(m *metric) { m.fn = fn })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+// Re-registering replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, func(m *metric) { m.fn = fn })
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sample writes one `name{labels} value` line.
+func writeSample(w io.Writer, family, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", family, formatValue(v))
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", family, labels, formatValue(v))
+	}
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4), sorted by family then full name, with
+// one # HELP/# TYPE header per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].name < ms[j].name
+	})
+	lastFamily := ""
+	for _, m := range ms {
+		if m.family != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind.promType())
+			lastFamily = m.family
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSample(w, m.family, m.labels, float64(m.c.Value()))
+		case kindGauge:
+			writeSample(w, m.family, m.labels, m.g.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			writeSample(w, m.family, m.labels, m.fn())
+		case kindHistogram:
+			h := m.h
+			var cum int64
+			for i, ub := range h.upper {
+				cum += h.counts[i].Load()
+				writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="`+formatValue(ub)+`"`), float64(cum))
+			}
+			cum += h.counts[len(h.upper)].Load()
+			writeSample(w, m.family+"_bucket", joinLabels(m.labels, `le="+Inf"`), float64(cum))
+			writeSample(w, m.family+"_sum", m.labels, h.Sum())
+			writeSample(w, m.family+"_count", m.labels, float64(h.Count()))
+		}
+	}
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow query.
+type SlowEntry struct {
+	// When is the query's completion time.
+	When time.Time
+	// Query is the OQL source text.
+	Query string
+	// Duration is the query's wall time.
+	Duration time.Duration
+	// Trace is the query's phase breakdown (may be nil).
+	Trace *Trace
+}
+
+// SlowLog retains the N slowest queries seen so far in a fixed-size buffer:
+// a new query replaces the fastest retained entry once the buffer is full,
+// so memory is bounded regardless of traffic volume. It is safe for
+// concurrent use.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowEntry
+}
+
+// NewSlowLog creates a slow log retaining the n slowest queries (n <= 0
+// defaults to 16).
+func NewSlowLog(n int) *SlowLog {
+	if n <= 0 {
+		n = 16
+	}
+	return &SlowLog{cap: n}
+}
+
+// Cap returns the retention capacity.
+func (sl *SlowLog) Cap() int { return sl.cap }
+
+// Record offers one completed query to the log.
+func (sl *SlowLog) Record(query string, d time.Duration, trace *Trace) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if len(sl.entries) < sl.cap {
+		sl.entries = append(sl.entries, SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace})
+		return
+	}
+	// Full: replace the fastest retained entry if this one is slower.
+	min := 0
+	for i := 1; i < len(sl.entries); i++ {
+		if sl.entries[i].Duration < sl.entries[min].Duration {
+			min = i
+		}
+	}
+	if d > sl.entries[min].Duration {
+		sl.entries[min] = SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace}
+	}
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (sl *SlowLog) Snapshot() []SlowEntry {
+	sl.mu.Lock()
+	out := append([]SlowEntry(nil), sl.entries...)
+	sl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// Format renders the slow log for terminal or /debug/slow display.
+func (sl *SlowLog) Format() string {
+	entries := sl.Snapshot()
+	if len(entries) == 0 {
+		return "slow-query log: empty\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "slow-query log: %d slowest queries (capacity %d)\n", len(entries), sl.cap)
+	for i, e := range entries {
+		fmt.Fprintf(&sb, "#%d  %v  %s\n    %s\n", i+1,
+			e.Duration.Round(time.Microsecond), e.When.Format(time.RFC3339), e.Query)
+		if e.Trace != nil {
+			for _, line := range strings.Split(strings.TrimRight(e.Trace.Format(), "\n"), "\n") {
+				fmt.Fprintf(&sb, "    %s\n", line)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The engine's query pipeline is traced as a sequence of contiguous phase
+// spans: parse → validate → plan → materialize → score → rank. Each span
+// records its wall time plus the materializer work it caused (vectors
+// materialized by traversal or index, cache hit/miss deltas). Spans tile
+// the query's wall clock — each phase ends exactly where the next begins —
+// so the per-phase durations sum to the trace total up to the (sub-µs)
+// bookkeeping tail after the last phase.
+
+// SpanStats is the materializer work attributed to one phase.
+type SpanStats struct {
+	// TraversedVectors and IndexedVectors count neighbor vectors produced by
+	// network traversal vs. index/cache lookup during the phase.
+	TraversedVectors, IndexedVectors int64
+	// CacheHits and CacheMisses are the cached materializer's counter deltas
+	// over the phase (zero for uncached strategies).
+	CacheHits, CacheMisses int64
+}
+
+// Span is one phase of a query trace.
+type Span struct {
+	Phase string
+	// Start is the phase's offset from the trace's begin time.
+	Start time.Duration
+	// Duration is the phase's wall time.
+	Duration time.Duration
+	Stats    SpanStats
+}
+
+// Trace is the per-query phase breakdown attached to a query result.
+type Trace struct {
+	// Begin is when the query started.
+	Begin time.Time
+	// Total is the query's wall time from Begin to Finish.
+	Total time.Duration
+	// Spans are the phases in execution order.
+	Spans []Span
+}
+
+// PhaseSum returns the summed duration of all spans. By construction it
+// tracks Total to within the tracer's own bookkeeping overhead.
+func (t *Trace) PhaseSum() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Spans {
+		sum += s.Duration
+	}
+	return sum
+}
+
+// Span returns the span for a phase, if recorded.
+func (t *Trace) Span(phase string) (Span, bool) {
+	for _, s := range t.Spans {
+		if s.Phase == phase {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
+// Format renders the trace for terminal display, one line per phase.
+func (t *Trace) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: total %v over %d phases\n", t.Total.Round(time.Microsecond), len(t.Spans))
+	for _, s := range t.Spans {
+		fmt.Fprintf(&sb, "  %-12s %10v", s.Phase, s.Duration.Round(time.Microsecond))
+		if st := s.Stats; st != (SpanStats{}) {
+			fmt.Fprintf(&sb, "  (%d traversed, %d indexed", st.TraversedVectors, st.IndexedVectors)
+			if st.CacheHits+st.CacheMisses > 0 {
+				fmt.Fprintf(&sb, ", cache %d hit / %d miss", st.CacheHits, st.CacheMisses)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Tracer records a trace's spans contiguously: EndPhase closes the span
+// that started when the previous one ended (or at StartTrace for the
+// first). A Tracer belongs to one goroutine.
+type Tracer struct {
+	trace *Trace
+	last  time.Time
+}
+
+// StartTrace begins a trace at the current time.
+func StartTrace() *Tracer {
+	now := time.Now()
+	return &Tracer{trace: &Trace{Begin: now}, last: now}
+}
+
+// EndPhase closes the current phase with the given stats. Zero-duration
+// phases are still recorded, so every trace lists the full pipeline.
+func (tr *Tracer) EndPhase(phase string, st SpanStats) {
+	now := time.Now()
+	tr.trace.Spans = append(tr.trace.Spans, Span{
+		Phase:    phase,
+		Start:    tr.last.Sub(tr.trace.Begin),
+		Duration: now.Sub(tr.last),
+		Stats:    st,
+	})
+	tr.last = now
+}
+
+// Finish seals the trace and returns it. The tracer must not be used
+// afterwards.
+func (tr *Tracer) Finish() *Trace {
+	tr.trace.Total = time.Since(tr.trace.Begin)
+	return tr.trace
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerContiguousSpans(t *testing.T) {
+	tr := StartTrace()
+	tr.EndPhase("parse", SpanStats{})
+	time.Sleep(2 * time.Millisecond)
+	tr.EndPhase("materialize", SpanStats{TraversedVectors: 3, CacheHits: 1})
+	tr.EndPhase("rank", SpanStats{})
+	trace := tr.Finish()
+
+	if len(trace.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(trace.Spans))
+	}
+	// Spans tile the wall clock: each starts where the previous ended.
+	for i := 1; i < len(trace.Spans); i++ {
+		prev, cur := trace.Spans[i-1], trace.Spans[i]
+		if cur.Start != prev.Start+prev.Duration {
+			t.Fatalf("span %d starts at %v, previous ended at %v", i, cur.Start, prev.Start+prev.Duration)
+		}
+	}
+	// So the phase sum tracks the total up to the Finish bookkeeping tail.
+	if sum := trace.PhaseSum(); sum > trace.Total || trace.Total-sum > trace.Total/20 {
+		t.Fatalf("phase sum %v vs total %v: off by more than 5%%", sum, trace.Total)
+	}
+	if sp, ok := trace.Span("materialize"); !ok || sp.Stats.TraversedVectors != 3 {
+		t.Fatalf("materialize span lookup = %+v, %v", sp, ok)
+	}
+	if _, ok := trace.Span("nope"); ok {
+		t.Fatal("unknown phase should not be found")
+	}
+	out := trace.Format()
+	for _, want := range []string{"trace: total", "parse", "materialize", "3 traversed", "cache 1 hit", "rank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSlowLogRetainsSlowest(t *testing.T) {
+	sl := NewSlowLog(3)
+	if sl.Cap() != 3 {
+		t.Fatalf("cap = %d", sl.Cap())
+	}
+	for i := 1; i <= 6; i++ {
+		sl.Record(fmt.Sprintf("q%d", i), time.Duration(i)*time.Millisecond, nil)
+	}
+	got := sl.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	// The three slowest (6, 5, 4 ms) survive, slowest first.
+	for i, wantQ := range []string{"q6", "q5", "q4"} {
+		if got[i].Query != wantQ {
+			t.Fatalf("entry %d = %q, want %q (%+v)", i, got[i].Query, wantQ, got)
+		}
+	}
+	// A faster query than everything retained is dropped.
+	sl.Record("fast", time.Microsecond, nil)
+	if got := sl.Snapshot(); len(got) != 3 || got[2].Query != "q4" {
+		t.Fatalf("fast query displaced a slow one: %+v", got)
+	}
+	if out := sl.Format(); !strings.Contains(out, "q6") || !strings.Contains(out, "capacity 3") {
+		t.Fatalf("Format output:\n%s", out)
+	}
+	if out := NewSlowLog(1).Format(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty Format output: %q", out)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	sl := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sl.Record("q", time.Duration(w*200+i)*time.Microsecond, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := sl.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("retained %d entries, want 8", len(got))
+	}
+	// The overall slowest observation must have been retained.
+	if got[0].Duration != time.Duration(7*200+199)*time.Microsecond {
+		t.Fatalf("slowest retained = %v", got[0].Duration)
+	}
+}

@@ -36,6 +36,7 @@ package netout
 
 import (
 	"io"
+	"net/http"
 
 	"netout/internal/aminer"
 	"netout/internal/core"
@@ -46,6 +47,7 @@ import (
 	"netout/internal/kg"
 	"netout/internal/lof"
 	"netout/internal/metapath"
+	"netout/internal/obs"
 	"netout/internal/oql"
 	"netout/internal/rel"
 	"netout/internal/sparse"
@@ -337,6 +339,58 @@ type (
 // release its workers.
 func NewServePool(g *Graph, opts ServeOptions) (*ServePool, error) {
 	return core.NewServePool(g, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Observability (metrics registry, query traces, slow-query log, admin HTTP)
+
+// Observability types: a MetricsRegistry holds atomic counters, gauges and
+// fixed-bucket latency histograms exposed in Prometheus text format; a
+// QueryTrace is the per-phase breakdown attached to every Result; a SlowLog
+// retains the N slowest queries with their traces.
+type (
+	MetricsRegistry = obs.Registry
+	MetricCounter   = obs.Counter
+	MetricGauge     = obs.Gauge
+	MetricHistogram = obs.Histogram
+	QueryTrace      = obs.Trace
+	TraceSpan       = obs.Span
+	TraceSpanStats  = obs.SpanStats
+	SlowLog         = obs.SlowLog
+	SlowEntry       = obs.SlowEntry
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide metrics registry.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// NewSlowLog creates a slow-query log retaining the n slowest queries.
+func NewSlowLog(n int) *SlowLog { return obs.NewSlowLog(n) }
+
+// WithObs connects an engine to a metrics registry and slow-query log;
+// either may be nil. Every query then observes its latency, phase breakdown
+// and outcome into the registry's instruments.
+func WithObs(reg *MetricsRegistry, slow *SlowLog) EngineOption { return core.WithObs(reg, slow) }
+
+// RegisterMaterializerMetrics exposes a materializer's cost counters on a
+// registry: index/cache bytes for every strategy, plus the full hit/miss/
+// traversal instrument set for the concurrency-safe cached strategy, read
+// from the same atomics CacheStatsOf reports so scrapes match exactly.
+func RegisterMaterializerMetrics(reg *MetricsRegistry, m Materializer) {
+	core.RegisterMaterializerMetrics(reg, m)
+}
+
+// RegisterProcessMetrics adds process-level gauges (uptime, goroutines,
+// heap in use) to a registry.
+func RegisterProcessMetrics(reg *MetricsRegistry) { obs.RegisterProcessMetrics(reg) }
+
+// NewAdminMux builds the serving admin endpoint: /metrics (Prometheus text
+// format), /healthz, /debug/slow and the net/http/pprof handlers. Mount it
+// on an access-controlled address.
+func NewAdminMux(reg *MetricsRegistry, slow *SlowLog) *http.ServeMux {
+	return obs.NewAdminMux(reg, slow)
 }
 
 // ScoreVectors scores candidate neighbor vectors against reference vectors
