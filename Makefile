@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench profile fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bench-smoke profile fuzz experiments examples clean
 
 all: build vet test
 
@@ -23,6 +23,17 @@ cover:
 
 bench:
 	$(GO) test -run XXX -bench=. -benchmem .
+
+# Kernel/index microbenchmarks distilled to JSON (cited from README.md).
+bench-json:
+	{ $(GO) test -run XXX -bench='BenchmarkExpand$$' . ; \
+	  $(GO) test -run XXX -bench=BenchmarkPathIndexProbe ./internal/core/ ; \
+	  $(GO) test -run XXX -bench=BenchmarkAccumulators ./internal/sparse/ ; } \
+		| $(GO) run ./cmd/benchjson -out BENCH_kernel.json
+
+# One iteration of every benchmark: catches bit-rot without measuring.
+bench-smoke:
+	$(GO) test -run XXX -bench=. -benchtime=1x ./...
 
 # Benchmarks under the profiler: CPU and heap profiles (plus the test binary
 # needed to read them) land in results/ for `go tool pprof`.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"slices"
 	"strconv"
 	"sync"
 	"testing"
@@ -311,6 +312,54 @@ func BenchmarkNeighborVector(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkExpand compares the three frontier-expansion kernels on one hop
+// (author frontier → paper) at several frontier sizes. The merge path's head
+// scan is linear in the frontier size, so it only runs at the sizes the
+// adaptive heuristic would actually route to it. `make bench-json` distills
+// this (plus BenchmarkPathIndexProbe) into BENCH_kernel.json.
+func BenchmarkExpand(b *testing.B) {
+	f := getFixture(b)
+	author, _ := f.graph.Schema().TypeByName("author")
+	paper, _ := f.graph.Schema().TypeByName("paper")
+	// Clone: VerticesOfType aliases the graph's internal per-type list, and
+	// the shuffle below must not disturb its sorted order.
+	authors := slices.Clone(f.graph.VerticesOfType(author))
+	r := rand.New(rand.NewSource(11))
+	r.Shuffle(len(authors), func(i, j int) { authors[i], authors[j] = authors[j], authors[i] })
+	frontier := func(n int) netout.Vector {
+		if n > len(authors) {
+			n = len(authors)
+		}
+		idx := make([]int32, n)
+		for i := 0; i < n; i++ {
+			idx[i] = int32(authors[i])
+		}
+		slices.Sort(idx)
+		val := make([]float64, n)
+		for i := range val {
+			val[i] = float64(i%5 + 1)
+		}
+		return netout.Vector{Idx: idx, Val: val}
+	}
+	for _, size := range []int{1, 4, 32, 256, 2048} {
+		fr := frontier(size)
+		kernels := []netout.ExpandKernel{netout.KernelMap, netout.KernelDense}
+		if size <= 4 {
+			kernels = append(kernels, netout.KernelMerge)
+		}
+		for _, k := range kernels {
+			b.Run(fmt.Sprintf("nnz=%d/%v", fr.NNZ(), k), func(b *testing.B) {
+				tr := netout.NewTraverser(f.graph)
+				tr.SetKernel(k)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = tr.Expand(fr, paper)
+				}
+			})
+		}
 	}
 }
 

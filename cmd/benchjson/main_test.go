@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: netout
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExpand/nnz=4/dense-8         	 2521585	       120.9 ns/op
+BenchmarkFig5Threshold/theta=0.01-8   	    1000	      5000 ns/op	   12345 index-bytes
+BenchmarkSparseDot-8                  	  500000	      2100 ns/op	      64 B/op	       2 allocs/op
+PASS
+ok  	netout	5.6s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "netout" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkExpand/nnz=4/dense" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", r0.Name)
+	}
+	if r0.Iterations != 2521585 || r0.NsPerOp != 120.9 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	r1 := rep.Results[1]
+	if r1.Metrics["index-bytes"] != 12345 {
+		t.Fatalf("custom metric missing: %+v", r1)
+	}
+	r2 := rep.Results[2]
+	if r2.Metrics["B/op"] != 64 || r2.Metrics["allocs/op"] != 2 {
+		t.Fatalf("mem metrics missing: %+v", r2)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBad notanumber 5 ns/op\nhello\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("garbage parsed: %+v", rep.Results)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "BenchmarkSparseDot"`, `"ns_per_op": 120.9`, `"index-bytes": 12345`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("JSON output missing %s:\n%s", want, out.String())
+		}
+	}
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("empty input should error")
+	}
+}

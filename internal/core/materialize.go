@@ -98,47 +98,8 @@ func (b *baseline) IndexBytes() int64  { return 0 }
 func (b *baseline) Stats() MatStats    { return b.stats }
 
 // ---------------------------------------------------------------------------
-// Shared index machinery for PM and SPM
-
-// pathIndex stores pre-materialized Φ vectors for a set of length-2
-// meta-paths, keyed by path then source vertex.
-type pathIndex struct {
-	vectors map[string]map[hin.VertexID]sparse.Vector
-	bytes   int64
-}
-
-func newPathIndex() *pathIndex {
-	return &pathIndex{vectors: make(map[string]map[hin.VertexID]sparse.Vector)}
-}
-
-func (ix *pathIndex) put(p metapath.Path, v hin.VertexID, vec sparse.Vector) {
-	key := p.Key()
-	m := ix.vectors[key]
-	if m == nil {
-		m = make(map[hin.VertexID]sparse.Vector)
-		ix.vectors[key] = m
-	}
-	if old, ok := m[v]; ok {
-		ix.bytes -= int64(old.Bytes())
-	}
-	m[v] = vec
-	// Account the vector payload plus a fixed per-entry overhead for the map
-	// key and slice headers.
-	ix.bytes += int64(vec.Bytes()) + indexEntryOverhead
-}
-
-// indexEntryOverhead approximates the per-entry bookkeeping cost of the
-// index (map bucket share, vertex key, two slice headers).
-const indexEntryOverhead = 4 + 2*24
-
-func (ix *pathIndex) get(p metapath.Path, v hin.VertexID) (sparse.Vector, bool) {
-	m, ok := ix.vectors[p.Key()]
-	if !ok {
-		return sparse.Vector{}, false
-	}
-	vec, ok := m[v]
-	return vec, ok
-}
+// Shared index machinery for PM and SPM (the arena-backed pathIndex lives in
+// pathindex.go)
 
 // allLength2Paths enumerates every schema-valid length-2 meta-path.
 func allLength2Paths(s *hin.Schema) []metapath.Path {
@@ -164,6 +125,33 @@ type indexedMaterializer struct {
 	ix       *pathIndex
 	strategy Strategy
 	stats    MatStats
+	// dense is the reusable chunk-combination scratch: when the graph's
+	// vertex-ID space is small enough it replaces a per-chunk map
+	// accumulator with hash-free scatters (same crossover cap as the
+	// traverser's dense kernel). acc is the map fallback.
+	dense *sparse.DenseAccumulator
+	acc   *sparse.Accumulator
+}
+
+// maxDenseChunkSpan caps the dense chunk scratch, entries (8 B each); it
+// mirrors metapath.MaxDenseSpan.
+const maxDenseChunkSpan = 4 << 20
+
+// chunkAcc returns the accumulator used to combine chunk vectors. Chunk
+// coordinates are raw vertex IDs, so the dense scratch is sized to the whole
+// graph's ID space when that fits under the cap.
+func (m *indexedMaterializer) chunkAcc(hint int) sparse.Acc {
+	if n := m.tr.Graph().NumVertices(); n <= maxDenseChunkSpan {
+		if m.dense == nil {
+			m.dense = sparse.NewDenseAccumulator(n)
+		}
+		m.dense.Grow(n)
+		return m.dense
+	}
+	if m.acc == nil {
+		m.acc = sparse.NewAccumulator(hint)
+	}
+	return m.acc
 }
 
 func (m *indexedMaterializer) Strategy() Strategy { return m.strategy }
@@ -194,11 +182,14 @@ func (m *indexedMaterializer) NeighborVector(p metapath.Path, v hin.VertexID) (s
 	hop := 0
 	for p.Hops()-hop >= 2 {
 		chunk := metapath.MustNew(p.Type(hop), p.Type(hop+1), p.Type(hop+2))
-		next := sparse.NewAccumulator(frontier.NNZ() * 4)
+		// One key build + one map probe per chunk; the per-vertex probes
+		// below are then pure array loads.
+		tbl := m.ix.table(chunk)
+		next := m.chunkAcc(frontier.NNZ() * 4)
 		for i := range frontier.Idx {
 			u := hin.VertexID(frontier.Idx[i])
 			w := frontier.Val[i]
-			if vec, ok := m.lookup(chunk, u); ok {
+			if vec, ok := m.probe(tbl, u); ok {
 				next.AddVector(vec, w)
 				continue
 			}
@@ -230,8 +221,12 @@ func (m *indexedMaterializer) NeighborVector(p metapath.Path, v hin.VertexID) (s
 }
 
 func (m *indexedMaterializer) lookup(chunk metapath.Path, v hin.VertexID) (sparse.Vector, bool) {
+	return m.probe(m.ix.table(chunk), v)
+}
+
+func (m *indexedMaterializer) probe(t *pathTable, v hin.VertexID) (sparse.Vector, bool) {
 	start := time.Now()
-	vec, ok := m.ix.get(chunk, v)
+	vec, ok := m.ix.probe(t, v)
 	// Probe time is index time whether the probe hits or misses — a miss
 	// still paid the lookup, and dropping it would understate the "indexed"
 	// share of Figure 4 style breakdowns for sparse indexes.
@@ -273,7 +268,7 @@ func NewPM(g *hin.Graph) Materializer {
 // (Section 6.2: "we may compute all length-2 paths or only a subset").
 func NewPMPaths(g *hin.Graph, paths []metapath.Path) Materializer {
 	tr := metapath.NewTraverser(g)
-	ix := newPathIndex()
+	ix := newPathIndex(g)
 	for _, p := range paths {
 		if p.Hops() != 2 {
 			panic(fmt.Sprintf("core: PM pre-materializes length-2 paths only, got %v", p))
@@ -341,7 +336,7 @@ func NewSPMVertices(g *hin.Graph, vertices []hin.VertexID) Materializer {
 
 func newSPMFromVertices(g *hin.Graph, selected []hin.VertexID) Materializer {
 	tr := metapath.NewTraverser(g)
-	ix := newPathIndex()
+	ix := newPathIndex(g)
 	byType := make(map[hin.TypeID][]hin.VertexID)
 	for _, v := range selected {
 		byType[g.Type(v)] = append(byType[g.Type(v)], v)

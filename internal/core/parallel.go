@@ -20,7 +20,7 @@ func NewPMParallel(g *hin.Graph, workers int) Materializer {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	paths := allLength2Paths(g.Schema())
-	ix := newPathIndex()
+	ix := newPathIndex(g)
 
 	type job struct {
 		path metapath.Path

@@ -47,37 +47,56 @@ func SaveIndex(m Materializer, w io.Writer) error {
 		uint64(im.strategy),
 		uint64(g.NumVertices()),
 		uint64(g.NumEdges()),
-		uint64(len(im.ix.vectors)),
+		uint64(im.ix.numPaths()),
 	}
 	for _, h := range head {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
-	for key, perVertex := range im.ix.vectors {
+	var werr error
+	im.ix.forEachPath(func(key string, t *pathTable) {
+		if werr != nil {
+			return
+		}
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(key))); err != nil {
-			return err
+			werr = err
+			return
 		}
 		if _, err := bw.WriteString(key); err != nil {
-			return err
+			werr = err
+			return
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(perVertex))); err != nil {
-			return err
+		if err := binary.Write(bw, binary.LittleEndian, uint32(t.count)); err != nil {
+			werr = err
+			return
 		}
-		for v, vec := range perVertex {
+		// The arena stores each table's vectors in vertex order, so this walk
+		// streams the idx/val arrays near-sequentially.
+		t.forEach(im.ix, func(v hin.VertexID, vec sparse.Vector) {
+			if werr != nil {
+				return
+			}
 			if err := binary.Write(bw, binary.LittleEndian, int32(v)); err != nil {
-				return err
+				werr = err
+				return
 			}
 			if err := binary.Write(bw, binary.LittleEndian, uint32(vec.NNZ())); err != nil {
-				return err
+				werr = err
+				return
 			}
 			if err := binary.Write(bw, binary.LittleEndian, vec.Idx); err != nil {
-				return err
+				werr = err
+				return
 			}
 			if err := binary.Write(bw, binary.LittleEndian, vec.Val); err != nil {
-				return err
+				werr = err
+				return
 			}
-		}
+		})
+	})
+	if werr != nil {
+		return werr
 	}
 	return bw.Flush()
 }
@@ -114,7 +133,11 @@ func LoadIndex(g *hin.Graph, r io.Reader) (Materializer, error) {
 	if numPaths > 1<<20 {
 		return nil, fmt.Errorf("core: implausible path count %d", numPaths)
 	}
-	ix := newPathIndex()
+	ix := newPathIndex(g)
+	// put copies payloads into the arena, so one pair of read buffers is
+	// reused across every vector in the file.
+	var idxBuf []int32
+	var valBuf []float64
 	for p := uint64(0); p < numPaths; p++ {
 		var keyLen uint32
 		if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
@@ -144,13 +167,22 @@ func LoadIndex(g *hin.Graph, r io.Reader) (Materializer, error) {
 			if !g.Valid(hin.VertexID(v)) {
 				return nil, fmt.Errorf("core: index vertex %d out of range", v)
 			}
+			if g.Type(hin.VertexID(v)) != path.Source() {
+				return nil, fmt.Errorf("core: index vertex %d has type %s, path %s starts at %s",
+					v, g.Schema().TypeName(g.Type(hin.VertexID(v))), path,
+					g.Schema().TypeName(path.Source()))
+			}
 			if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
 				return nil, fmt.Errorf("core: reading nnz: %w", err)
 			}
 			if nnz > uint32(g.NumVertices()) {
 				return nil, fmt.Errorf("core: implausible nnz %d", nnz)
 			}
-			vec := sparse.Vector{Idx: make([]int32, nnz), Val: make([]float64, nnz)}
+			if cap(idxBuf) < int(nnz) {
+				idxBuf = make([]int32, nnz)
+				valBuf = make([]float64, nnz)
+			}
+			vec := sparse.Vector{Idx: idxBuf[:nnz], Val: valBuf[:nnz]}
 			if err := binary.Read(br, binary.LittleEndian, vec.Idx); err != nil {
 				return nil, fmt.Errorf("core: reading indices: %w", err)
 			}

@@ -101,6 +101,10 @@ func (st *sharedCacheState) shard(key string) *cacheShard {
 	return &st.shards[h&(cacheShardCount-1)]
 }
 
+// indexEntryOverhead approximates the per-entry bookkeeping cost of a cache
+// entry (map bucket share, vertex key, two slice headers).
+const indexEntryOverhead = 4 + 2*24
+
 func cacheEntrySize(key string, vec sparse.Vector) int64 {
 	return int64(vec.Bytes()) + indexEntryOverhead + int64(len(key))
 }

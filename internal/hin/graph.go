@@ -63,6 +63,19 @@ func (g *Graph) VerticesOfType(t TypeID) []VertexID { return g.byType[t] }
 // NumVerticesOfType reports how many vertices have type t.
 func (g *Graph) NumVerticesOfType(t TypeID) int { return len(g.byType[t]) }
 
+// TypeIDSpan returns the smallest and largest vertex IDs of type t; ok is
+// false when the graph has no vertex of that type. Expansion kernels size
+// their dense scratch to hi-lo+1 (the type's ID span) rather than the whole
+// vertex space: builders assign IDs in insertion order, so loaders that add
+// vertices type by type keep the span close to the type's count.
+func (g *Graph) TypeIDSpan(t TypeID) (lo, hi VertexID, ok bool) {
+	if int(t) >= len(g.byType) || len(g.byType[t]) == 0 {
+		return InvalidVertex, InvalidVertex, false
+	}
+	vs := g.byType[t]
+	return vs[0], vs[len(vs)-1], true
+}
+
 // VertexByName resolves a (type, name) pair to a vertex ID. The second
 // result is false if no such vertex exists.
 func (g *Graph) VertexByName(t TypeID, name string) (VertexID, bool) {

@@ -255,6 +255,31 @@ func TestVerticesOfTypeSorted(t *testing.T) {
 	}
 }
 
+func TestTypeIDSpan(t *testing.T) {
+	g, s := figure1Graph(t)
+	for _, name := range []string{"author", "paper", "venue"} {
+		tp, _ := s.TypeByName(name)
+		lo, hi, ok := g.TypeIDSpan(tp)
+		if !ok {
+			t.Fatalf("TypeIDSpan(%s) not ok", name)
+		}
+		vs := g.VerticesOfType(tp)
+		if lo != vs[0] || hi != vs[len(vs)-1] {
+			t.Fatalf("TypeIDSpan(%s) = [%d,%d], want [%d,%d]", name, lo, hi, vs[0], vs[len(vs)-1])
+		}
+		if int(hi)-int(lo)+1 < len(vs) {
+			t.Fatalf("TypeIDSpan(%s) narrower than the type's count", name)
+		}
+	}
+	// A type with no vertices reports !ok.
+	term, _ := s.TypeByName("term")
+	if g.NumVerticesOfType(term) == 0 {
+		if _, _, ok := g.TypeIDSpan(term); ok {
+			t.Fatal("TypeIDSpan of empty type should be !ok")
+		}
+	}
+}
+
 func TestSelfLoopEdge(t *testing.T) {
 	s := MustSchema("node")
 	n, _ := s.TypeByName("node")

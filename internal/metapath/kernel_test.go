@@ -1,0 +1,307 @@
+package metapath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netout/internal/hin"
+	"netout/internal/sparse"
+)
+
+var forcedKernels = []Kernel{KernelMap, KernelDense, KernelMerge}
+
+// expandAll runs one hop under every forced kernel plus auto and checks the
+// results are bit-equal, returning the map-kernel result.
+func expandAll(t *testing.T, g *hin.Graph, frontier sparse.Vector, next hin.TypeID) sparse.Vector {
+	t.Helper()
+	tr := NewTraverser(g)
+	tr.SetKernel(KernelMap)
+	want := tr.Expand(frontier, next)
+	for _, k := range []Kernel{KernelDense, KernelMerge, KernelAuto} {
+		tr.SetKernel(k)
+		if got := tr.Expand(frontier, next); !got.Equal(want) {
+			t.Fatalf("kernel %v: Expand = %v, want %v (frontier %v)", k, got, want, frontier)
+		}
+	}
+	return want
+}
+
+// kernelGraph is the deterministic two-author/one-paper fixture used by the
+// cancellation and heuristic tests.
+func kernelGraph(t *testing.T) (*hin.Graph, map[string]hin.VertexID) {
+	t.Helper()
+	s := hin.MustSchema("author", "paper")
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	s.AllowLink(a, p)
+	b := hin.NewBuilder(s)
+	ids := map[string]hin.VertexID{
+		"a1": b.MustAddVertex(a, "a1"),
+		"a2": b.MustAddVertex(a, "a2"),
+		"a3": b.MustAddVertex(a, "a3"),
+		"p1": b.MustAddVertex(p, "p1"),
+		"p2": b.MustAddVertex(p, "p2"),
+	}
+	b.MustAddEdge(ids["a1"], ids["p1"])
+	b.MustAddEdge(ids["a2"], ids["p1"])
+	b.MustAddEdge(ids["a2"], ids["p2"])
+	b.MustAddEdge(ids["a3"], ids["p2"])
+	return b.Build(), ids
+}
+
+func TestExpandKernelsZeroCancellation(t *testing.T) {
+	g, ids := kernelGraph(t)
+	p, _ := g.Schema().TypeByName("paper")
+	// a1 and a2 share p1 with equal multiplicity; opposite weights cancel it
+	// exactly, and every kernel must drop the coordinate.
+	frontier := sparse.FromMap(map[int32]float64{
+		int32(ids["a1"]): 1,
+		int32(ids["a2"]): -1,
+	})
+	got := expandAll(t, g, frontier, p)
+	want := sparse.FromMap(map[int32]float64{int32(ids["p2"]): -1})
+	if !got.Equal(want) {
+		t.Fatalf("cancellation result = %v, want %v", got, want)
+	}
+}
+
+func TestExpandKernelsEmptyAndMissing(t *testing.T) {
+	g, ids := kernelGraph(t)
+	paper, _ := g.Schema().TypeByName("paper")
+	if got := expandAll(t, g, sparse.Vector{}, paper); !got.IsZero() {
+		t.Fatalf("empty frontier expanded to %v", got)
+	}
+	// A frontier whose vertices have no neighbors of the target type.
+	author, _ := g.Schema().TypeByName("author")
+	frontier := sparse.FromMap(map[int32]float64{int32(ids["a1"]): 2})
+	if got := expandAll(t, g, frontier, author); !got.IsZero() {
+		t.Fatalf("author->author frontier expanded to %v", got)
+	}
+}
+
+func TestKernelHeuristic(t *testing.T) {
+	g, ids := kernelGraph(t)
+	paper, _ := g.Schema().TypeByName("paper")
+	tr := NewTraverser(g)
+	// Tiny frontier routes through the merge path.
+	tiny := sparse.FromMap(map[int32]float64{int32(ids["a1"]): 1})
+	tr.Expand(tiny, paper)
+	if c := tr.KernelCounts(); c.Merge != 1 || c.Map != 0 || c.Dense != 0 {
+		t.Fatalf("tiny frontier counts = %+v, want one merge", c)
+	}
+	// Above MergeMaxFrontier the dense scratch takes over (the paper span
+	// here is far under MaxDenseSpan), and at the boundary merge still wins.
+	if k := tr.pick(MergeMaxFrontier+1, paper); k != KernelDense {
+		t.Fatalf("pick(%d, paper) = %v, want dense", MergeMaxFrontier+1, k)
+	}
+	if k := tr.pick(MergeMaxFrontier, paper); k != KernelMerge {
+		t.Fatalf("pick(%d, paper) = %v, want merge", MergeMaxFrontier, k)
+	}
+	// Forced kernels override the heuristic.
+	tr.SetKernel(KernelMap)
+	if k := tr.pick(1, paper); k != KernelMap {
+		t.Fatalf("forced map, pick = %v", k)
+	}
+	tr.SetKernel(KernelAuto)
+}
+
+// randomFrontier draws a random weighted frontier over the vertices of a
+// type, with negative weights included so cancellation paths are exercised.
+func randomFrontier(r *rand.Rand, g *hin.Graph, t hin.TypeID) sparse.Vector {
+	vs := g.VerticesOfType(t)
+	m := make(map[int32]float64)
+	n := r.Intn(len(vs) + 1)
+	for i := 0; i < n; i++ {
+		w := float64(r.Intn(9) - 4)
+		if w != 0 {
+			m[int32(vs[r.Intn(len(vs))])] = w
+		}
+	}
+	return sparse.FromMap(m)
+}
+
+func TestQuickExpandKernelsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		s := g.Schema()
+		src := hin.TypeID(r.Intn(s.NumTypes()))
+		nexts := s.AllowedFrom(src)
+		if len(nexts) == 0 {
+			return true
+		}
+		next := nexts[r.Intn(len(nexts))]
+		frontier := randomFrontier(r, g, src)
+		tr := NewTraverser(g)
+		tr.SetKernel(KernelMap)
+		want := tr.Expand(frontier, next)
+		for _, k := range []Kernel{KernelDense, KernelMerge, KernelAuto} {
+			tr.SetKernel(k)
+			if !tr.Expand(frontier, next).Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Multi-hop NeighborVector must be kernel-independent too: hop sizes cross
+// the merge/dense crossover mid-path under KernelAuto.
+func TestQuickNeighborVectorKernelsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		p := randomValidPath(r, g.Schema(), 4)
+		src := g.VerticesOfType(p.Source())
+		if len(src) == 0 {
+			return true
+		}
+		v := src[r.Intn(len(src))]
+		var want sparse.Vector
+		for i, k := range []Kernel{KernelMap, KernelDense, KernelMerge, KernelAuto} {
+			tr := NewTraverser(g)
+			tr.SetKernel(k)
+			phi, err := tr.NeighborVector(p, v)
+			if err != nil {
+				return false
+			}
+			if i == 0 {
+				want = phi
+			} else if !phi.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExpandSetKernelsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		s := g.Schema()
+		src := hin.TypeID(r.Intn(s.NumTypes()))
+		nexts := s.AllowedFrom(src)
+		if len(nexts) == 0 {
+			return true
+		}
+		next := nexts[r.Intn(len(nexts))]
+		vs := g.VerticesOfType(src)
+		set := make([]hin.VertexID, 0, len(vs))
+		for _, v := range vs {
+			if r.Float64() < 0.5 {
+				set = append(set, v)
+			}
+		}
+		var want []hin.VertexID
+		for i, k := range forcedKernels {
+			tr := NewTraverser(g)
+			tr.SetKernel(k)
+			got := tr.ExpandSet(set, next)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzExpandKernels decodes arbitrary bytes into a tiny two-type network, a
+// frontier and a hop direction, then asserts the three kernels agree
+// bit-for-bit. The seed corpus covers the structural edges: empty frontier,
+// single row, duplicate-free fan-in, cancellation, and self-type hops with
+// no allowed neighbors.
+func FuzzExpandKernels(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 4, 0, 0, 1, 1, 2, 3, 0, 1})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})                   // single row, repeated edge (multiplicity)
+	f.Add([]byte{2, 1, 0, 0, 1, 0, 0, 1, 1, 255})           // two rows into one paper: cancellation candidates
+	f.Add([]byte{8, 8, 0, 1, 2, 3, 4, 5, 6, 7, 7, 6, 5, 4}) // wider fan
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pop := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		s := hin.MustSchema("a", "b")
+		ta, _ := s.TypeByName("a")
+		tb, _ := s.TypeByName("b")
+		s.AllowLink(ta, tb)
+		nA := int(pop()%8) + 1
+		nB := int(pop()%8) + 1
+		bld := hin.NewBuilder(s)
+		as := make([]hin.VertexID, nA)
+		bs := make([]hin.VertexID, nB)
+		for i := range as {
+			as[i] = bld.MustAddVertex(ta, fmt.Sprintf("a%d", i))
+		}
+		for i := range bs {
+			bs[i] = bld.MustAddVertex(tb, fmt.Sprintf("b%d", i))
+		}
+		nEdges := int(pop() % 32)
+		for i := 0; i < nEdges; i++ {
+			x := as[int(pop())%nA]
+			y := bs[int(pop())%nB]
+			bld.MustAddEdge(x, y) // repeats raise multiplicity
+		}
+		g := bld.Build()
+		m := make(map[int32]float64)
+		nFront := int(pop() % 8)
+		for i := 0; i < nFront; i++ {
+			v := as[int(pop())%nA]
+			w := float64(int(pop()) - 128)
+			if w != 0 {
+				m[int32(v)] = w
+			}
+		}
+		frontier := sparse.FromMap(m)
+		tr := NewTraverser(g)
+		tr.SetKernel(KernelMap)
+		want := tr.Expand(frontier, tb)
+		for _, k := range []Kernel{KernelDense, KernelMerge, KernelAuto} {
+			tr.SetKernel(k)
+			if got := tr.Expand(frontier, tb); !got.Equal(want) {
+				t.Fatalf("kernel %v: Expand = %v, want %v (frontier %v, graph %d/%d)",
+					k, got, want, frontier, nA, nB)
+			}
+		}
+		// The hop with no vertices of the target type in range: expand the
+		// B frontier back to A as well.
+		mB := make(map[int32]float64)
+		for i := 0; i < nFront; i++ {
+			mB[int32(bs[int(pop())%nB])] = float64(int(pop())%16) + 1
+		}
+		back := sparse.FromMap(mB)
+		tr.SetKernel(KernelMap)
+		wantBack := tr.Expand(back, ta)
+		for _, k := range []Kernel{KernelDense, KernelMerge, KernelAuto} {
+			tr.SetKernel(k)
+			if got := tr.Expand(back, ta); !got.Equal(wantBack) {
+				t.Fatalf("kernel %v (reverse): Expand = %v, want %v", k, got, wantBack)
+			}
+		}
+	})
+}

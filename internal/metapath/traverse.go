@@ -11,9 +11,21 @@ import (
 // expansion over a graph. It owns reusable scratch space, so a single
 // Traverser amortizes allocations across many vertices; it is not safe for
 // concurrent use (create one per goroutine).
+//
+// Each hop runs through one of three expansion kernels — merge, dense or
+// map — picked per hop by an adaptive heuristic (see kernel.go and the
+// "Expansion kernels" section of DESIGN.md).
 type Traverser struct {
 	g   *hin.Graph
 	acc *sparse.Accumulator
+	// dense is the span-offset scratch for KernelDense, grown lazily to the
+	// largest target-type ID span seen.
+	dense *sparse.DenseAccumulator
+	// cursors is the reusable row set for KernelMerge.
+	cursors []mergeCursor
+	// kernel forces a specific kernel when != KernelAuto.
+	kernel Kernel
+	counts KernelCounts
 }
 
 // NewTraverser creates a traverser over g.
@@ -50,16 +62,20 @@ func (tr *Traverser) NeighborVector(p Path, v hin.VertexID) (sparse.Vector, erro
 }
 
 // Expand advances a weighted frontier one hop to the given neighbor type:
-// out[u] = Σ_w frontier[w] · mult(w,u) over neighbors u of type next.
+// out[u] = Σ_w frontier[w] · mult(w,u) over neighbors u of type next. The
+// expansion kernel is chosen per hop (tiny frontiers merge sorted CSR rows
+// directly; mid/dense frontiers scatter into a dense scratch; the map
+// accumulator is the fallback for huge sparse types). Expand does not
+// require the frontier to be sorted, only duplicate-free.
 func (tr *Traverser) Expand(frontier sparse.Vector, next hin.TypeID) sparse.Vector {
-	for i := range frontier.Idx {
-		w := frontier.Val[i]
-		nbrs, mults := tr.g.Neighbors(hin.VertexID(frontier.Idx[i]), next)
-		for j, u := range nbrs {
-			tr.acc.Add(int32(u), w*float64(mults[j]))
-		}
+	switch tr.pick(frontier.NNZ(), next) {
+	case KernelMerge:
+		return tr.expandMerge(frontier, next)
+	case KernelDense:
+		return tr.expandDense(frontier, next)
+	default:
+		return tr.expandMap(frontier, next)
 	}
-	return tr.acc.Take()
 }
 
 // CountInstances returns |π_P(vi,vj)|, the number of instances of P
@@ -90,13 +106,16 @@ func (tr *Traverser) Neighborhood(p Path, v hin.VertexID) ([]hin.VertexID, error
 // returning the distinct neighbors (set semantics, no counts). Used by the
 // query engine to resolve candidate/reference set chains.
 func (tr *Traverser) ExpandSet(set []hin.VertexID, next hin.TypeID) []hin.VertexID {
-	for _, v := range set {
-		nbrs, _ := tr.g.Neighbors(v, next)
-		for _, u := range nbrs {
-			tr.acc.Add(int32(u), 1)
-		}
+	// Run the adaptive kernels on a weight-1 frontier and keep the index
+	// list: counts are all positive, so no coordinate can cancel and the
+	// output indices are exactly the distinct neighbors.
+	idx := make([]int32, len(set))
+	val := make([]float64, len(set))
+	for i, v := range set {
+		idx[i] = int32(v)
+		val[i] = 1
 	}
-	vec := tr.acc.Take()
+	vec := tr.Expand(sparse.Vector{Idx: idx, Val: val}, next)
 	out := make([]hin.VertexID, len(vec.Idx))
 	for i, ix := range vec.Idx {
 		out[i] = hin.VertexID(ix)

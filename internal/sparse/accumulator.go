@@ -1,18 +1,44 @@
 package sparse
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
+
+// Acc is the contract every frontier accumulator satisfies: scatter adds in,
+// one sorted Vector out. The map-backed Accumulator and the DenseAccumulator
+// are interchangeable behind it (property-tested to emit identical vectors),
+// so hot paths can pick a kernel per hop.
+type Acc interface {
+	// Add adds x at coordinate i.
+	Add(i int32, x float64)
+	// AddVector adds w·v into the accumulator.
+	AddVector(v Vector, w float64)
+	// Len reports the number of touched coordinates.
+	Len() int
+	// Take drains the accumulator into a sorted Vector and resets it.
+	Take() Vector
+	// Reset clears the accumulator without producing a vector.
+	Reset()
+}
 
 // Accumulator gathers coordinate contributions and emits a sorted Vector.
-// It is the scratch structure used by meta-path traversal: each hop scatters
-// weighted adjacency rows into the accumulator, then Take drains it.
-//
-// The implementation is map-backed with an amortized touched-list; for the
-// graph sizes in this repository (hundreds of thousands of vertices, sparse
-// frontiers) this outperforms a dense scratch array because frontiers are
-// tiny relative to the vertex count and the accumulator is reused across
-// many vertices.
+// It is the fallback scratch structure for meta-path traversal: unbounded
+// coordinate space, memory proportional to the touched set, one hash per
+// scattered coordinate. The DenseAccumulator beats it whenever the target
+// coordinate span is small enough to afford a dense scratch array; the
+// adaptive kernel in internal/metapath picks between them per hop.
 type Accumulator struct {
 	m map[int32]float64
+	// pairs is the reusable Take scratch: coordinates and values are
+	// collected in one map pass and co-sorted, so Take never re-hashes
+	// coordinates it already visited.
+	pairs []coord
+}
+
+type coord struct {
+	ix int32
+	x  float64
 }
 
 // NewAccumulator creates an accumulator with a capacity hint.
@@ -34,24 +60,29 @@ func (acc *Accumulator) AddVector(v Vector, w float64) {
 func (acc *Accumulator) Len() int { return len(acc.m) }
 
 // Take drains the accumulator into a sorted Vector and resets it for reuse.
+// Coordinates and values leave the map together in a single pass, so sorting
+// costs no further hashing.
 func (acc *Accumulator) Take() Vector {
 	if len(acc.m) == 0 {
 		return Vector{}
 	}
-	v := Vector{
-		Idx: make([]int32, 0, len(acc.m)),
-		Val: make([]float64, 0, len(acc.m)),
-	}
+	pairs := acc.pairs[:0]
 	for ix, x := range acc.m {
 		if x != 0 {
-			v.Idx = append(v.Idx, ix)
+			pairs = append(pairs, coord{ix, x})
 		}
 	}
-	sort.Slice(v.Idx, func(i, j int) bool { return v.Idx[i] < v.Idx[j] })
-	for _, ix := range v.Idx {
-		v.Val = append(v.Val, acc.m[ix])
-	}
 	clear(acc.m)
+	acc.pairs = pairs // keep the grown scratch for the next Take
+	slices.SortFunc(pairs, func(a, b coord) int { return cmp.Compare(a.ix, b.ix) })
+	v := Vector{
+		Idx: make([]int32, len(pairs)),
+		Val: make([]float64, len(pairs)),
+	}
+	for i, c := range pairs {
+		v.Idx[i] = c.ix
+		v.Val[i] = c.x
+	}
 	return v
 }
 

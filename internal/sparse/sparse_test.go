@@ -295,6 +295,35 @@ func TestDenseAccumulator(t *testing.T) {
 	}
 }
 
+// Both accumulators satisfy the shared kernel contract.
+var (
+	_ Acc = (*Accumulator)(nil)
+	_ Acc = (*DenseAccumulator)(nil)
+)
+
+func TestDenseAccumulatorGrow(t *testing.T) {
+	acc := NewDenseAccumulator(0)
+	if acc.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", acc.Size())
+	}
+	acc.Grow(4)
+	acc.Add(3, 2)
+	acc.Grow(100) // growth must preserve accumulated values
+	acc.Add(99, 1)
+	if acc.Size() < 100 {
+		t.Fatalf("Size = %d after Grow(100)", acc.Size())
+	}
+	got := acc.Take()
+	if !got.Equal(FromMap(map[int32]float64{3: 2, 99: 1})) {
+		t.Fatalf("Take after Grow = %v", got)
+	}
+	// Grow never shrinks.
+	acc.Grow(10)
+	if acc.Size() < 100 {
+		t.Fatalf("Grow shrank the scratch to %d", acc.Size())
+	}
+}
+
 // Both accumulators must produce identical vectors for any add sequence.
 func TestQuickAccumulatorsAgree(t *testing.T) {
 	f := func(seed int64) bool {

@@ -107,6 +107,24 @@ type Traverser = metapath.Traverser
 // NewTraverser creates a traverser over g.
 func NewTraverser(g *Graph) *Traverser { return metapath.NewTraverser(g) }
 
+// ExpandKernel selects the frontier-expansion kernel a Traverser uses
+// (Traverser.SetKernel). KernelAuto, the default, picks per hop.
+type ExpandKernel = metapath.Kernel
+
+// Expansion kernels: auto picks merge/dense/map per hop from the frontier
+// size and the target type's vertex-ID span; the forced kernels exist for
+// benchmarks and equivalence tests.
+const (
+	KernelAuto  ExpandKernel = metapath.KernelAuto
+	KernelMap   ExpandKernel = metapath.KernelMap
+	KernelDense ExpandKernel = metapath.KernelDense
+	KernelMerge ExpandKernel = metapath.KernelMerge
+)
+
+// KernelCounts reports how many hops each expansion kernel handled
+// (Traverser.KernelCounts).
+type KernelCounts = metapath.KernelCounts
+
 // Vector is a sparse neighbor vector Φ_P(v): coordinate u holds the number
 // of meta-path instances from v to vertex u.
 type Vector = sparse.Vector
