@@ -15,8 +15,11 @@ vet:
 test: vet
 	$(GO) test ./...
 
+# -cpu 1,4 runs every test at both GOMAXPROCS values: 1 pins the sequential
+# engine path, 4 exercises the intra-query pipeline and the re-entrant
+# Engine under contention.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -cpu 1,4 ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -30,6 +33,8 @@ bench-json:
 	  $(GO) test -run XXX -bench=BenchmarkPathIndexProbe ./internal/core/ ; \
 	  $(GO) test -run XXX -bench=BenchmarkAccumulators ./internal/sparse/ ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_kernel.json
+	$(GO) test -run XXX -bench='BenchmarkQuery/' -cpu 1,2,4 . \
+		| $(GO) run ./cmd/benchjson -out BENCH_query.json
 
 # One iteration of every benchmark: catches bit-rot without measuring.
 bench-smoke:

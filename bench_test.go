@@ -363,6 +363,28 @@ func BenchmarkExpand(b *testing.B) {
 	}
 }
 
+// BenchmarkQuery measures one full query end to end — all authors as both
+// candidate and reference set, ranked under each measure — on the scale-1
+// fixture with the baseline materializer. The engine's intra-query pipeline
+// defaults to GOMAXPROCS workers, so running with -cpu 1,2,4 measures its
+// scaling directly (at -cpu 1 the pipeline collapses to the sequential
+// path). `make bench-json` distills this into BENCH_query.json.
+func BenchmarkQuery(b *testing.B) {
+	f := getFixture(b)
+	src := `FIND OUTLIERS FROM author JUDGED BY author.paper.venue TOP 25;`
+	for _, m := range []netout.Measure{netout.MeasureNetOut, netout.MeasurePathSim, netout.MeasureCosSim} {
+		b.Run(m.String(), func(b *testing.B) {
+			eng := netout.NewEngine(f.graph, netout.WithMeasure(m))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkParseQuery(b *testing.B) {
 	src := `FIND OUTLIERS
 FROM venue{"SIGMOD"}.paper.author AS A WHERE COUNT(A.paper) >= 5

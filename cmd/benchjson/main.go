@@ -34,6 +34,7 @@ func main() {
 // Result is one benchmark line.
 type Result struct {
 	Name       string             `json:"name"`
+	Procs      int                `json:"gomaxprocs"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
@@ -118,17 +119,20 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := fields[0]
+	// The -GOMAXPROCS suffix moves into its own field, so a -cpu series
+	// stays distinguishable under a stable name (go test omits the suffix
+	// entirely when GOMAXPROCS is 1).
+	procs := 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		// Strip the -GOMAXPROCS suffix.
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			name, procs = name[:i], p
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	res := Result{Name: name, Iterations: iters}
+	res := Result{Name: name, Procs: procs, Iterations: iters}
 	// The remainder alternates value/unit pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -12,6 +12,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkExpand/nnz=4/dense-8         	 2521585	       120.9 ns/op
 BenchmarkFig5Threshold/theta=0.01-8   	    1000	      5000 ns/op	   12345 index-bytes
 BenchmarkSparseDot-8                  	  500000	      2100 ns/op	      64 B/op	       2 allocs/op
+BenchmarkQuery/NetOut                 	     100	    100000 ns/op
 PASS
 ok  	netout	5.6s
 `
@@ -27,12 +28,16 @@ func TestParse(t *testing.T) {
 	if !strings.Contains(rep.CPU, "Xeon") {
 		t.Fatalf("cpu = %q", rep.CPU)
 	}
-	if len(rep.Results) != 3 {
-		t.Fatalf("results = %d, want 3", len(rep.Results))
+	if len(rep.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(rep.Results))
+	}
+	// A -cpu series at GOMAXPROCS=1 has no suffix: Procs defaults to 1.
+	if r3 := rep.Results[3]; r3.Name != "BenchmarkQuery/NetOut" || r3.Procs != 1 {
+		t.Fatalf("r3 = %+v", r3)
 	}
 	r0 := rep.Results[0]
-	if r0.Name != "BenchmarkExpand/nnz=4/dense" {
-		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", r0.Name)
+	if r0.Name != "BenchmarkExpand/nnz=4/dense" || r0.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d (suffix should move into Procs)", r0.Name, r0.Procs)
 	}
 	if r0.Iterations != 2521585 || r0.NsPerOp != 120.9 {
 		t.Fatalf("r0 = %+v", r0)

@@ -46,6 +46,7 @@ func main() {
 		loadIndex   = flag.String("load-index", "", "load a previously saved index instead of building one")
 		combine     = flag.String("combine", "average", "multi-path combination: average or concat")
 		workers     = flag.Int("workers", 1, "parallel workers for -file query batches")
+		parallelism = flag.Int("parallelism", 0, "intra-query pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
 		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
 		timing      = flag.Bool("timing", false, "print per-query timing breakdown and phase trace")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/slow and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
@@ -137,6 +138,7 @@ func main() {
 		netout.WithMeasure(m),
 		netout.WithMaterializer(mat),
 		netout.WithCombination(comb),
+		netout.WithQueryParallelism(*parallelism),
 		netout.WithObs(reg, slow))
 
 	switch {
@@ -152,7 +154,7 @@ func main() {
 	case len(queries) > 0 && *workers > 1:
 		results, err := netout.ExecuteBatch(g, queries, netout.BatchOptions{
 			Workers: *workers, Measure: m, Combination: comb, Materializer: mat,
-			Obs: reg, SlowLog: slow,
+			QueryParallelism: *parallelism, Obs: reg, SlowLog: slow,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -56,6 +56,10 @@ type BatchOptions struct {
 	// Materializer, if set, is the shared strategy whose index the workers
 	// reuse through views; nil means each worker gets its own baseline.
 	Materializer Materializer
+	// QueryParallelism bounds each worker engine's intra-query pipeline
+	// (WithQueryParallelism). Default 1: the batch already parallelizes
+	// across queries, so per-query fan-out would oversubscribe the machine.
+	QueryParallelism int
 	// Obs and SlowLog, if set, are wired into every worker engine: each
 	// query observes its latency, phase breakdown and outcome into Obs and
 	// offers itself to SlowLog (see Engine's WithObs).
@@ -81,6 +85,10 @@ func ExecuteBatch(g *hin.Graph, queries []string, opts BatchOptions) ([]BatchRes
 	if workers > len(queries) && len(queries) > 0 {
 		workers = len(queries)
 	}
+	queryPar := opts.QueryParallelism
+	if queryPar <= 0 {
+		queryPar = 1
+	}
 	results := make([]BatchResult, len(queries))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -100,6 +108,7 @@ func ExecuteBatch(g *hin.Graph, queries []string, opts BatchOptions) ([]BatchRes
 			WithMeasure(opts.Measure),
 			WithCombination(opts.Combination),
 			WithMaterializer(mat),
+			WithQueryParallelism(queryPar),
 			WithObs(opts.Obs, opts.SlowLog))
 	}
 	if opts.Obs != nil && opts.Materializer != nil {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"netout/internal/hin"
@@ -16,35 +18,45 @@ import (
 
 // Engine executes outlier queries over a heterogeneous information network.
 // An Engine is configured once with a measure and a materialization
-// strategy; it is not safe for concurrent use (create one per goroutine,
-// sharing materializer state through NewView — see the concurrency contract
-// in DESIGN.md — or route traffic through a ServePool).
+// strategy. It is re-entrant: queries carry their own context and trace, so
+// concurrent calls on one Engine never observe each other's per-query
+// state. Whether concurrent use is actually SAFE depends on the
+// materializer: the cached strategy (NewCached) is internally synchronized,
+// so a cached Engine may serve queries from any number of goroutines;
+// baseline and PM/SPM materializers carry unsynchronized scratch and stats,
+// so engines over those still need one engine per goroutine (share the
+// index through NewView, or route traffic through a ServePool) — see the
+// concurrency contract in DESIGN.md.
 type Engine struct {
-	g       *hin.Graph
-	tr      *metapath.Traverser
+	g  *hin.Graph
+	tr *metapath.Traverser
+	// trMu guards tr: set evaluation (EvalSet and WHERE conditions) shares
+	// one traverser across concurrent queries, and the traverser's scratch
+	// is not concurrency-safe.
+	trMu    sync.Mutex
 	mat     Materializer
 	measure Measure
 	combine Combination
-	// ctx is the active query's context; set by ExecuteQueryContext and
-	// checked at per-vertex granularity during materialization.
-	ctx context.Context
+	// parallelism bounds the intra-query pipeline's worker count
+	// (WithQueryParallelism); 0 means GOMAXPROCS, 1 means sequential.
+	parallelism int
+	// workerPool recycles pipeline workers across queries: a worker's
+	// materializer view and traversal scratch are the expensive parts of
+	// query setup, and both are reusable as-is.
+	workerPool sync.Pool
 
 	// obs and slow, when set via WithObs, receive per-query metrics (latency
 	// histograms, outcome counters, vector counters) and slow-query entries.
 	obs  *obs.Registry
 	slow *obs.SlowLog
-	// tracer carries a trace started by a text entry point (which records
-	// the parse phase) into ExecuteQueryContext; nil means the query-level
-	// entry point starts its own.
-	tracer *obs.Tracer
 }
 
-// checkCtx reports the context error, if any (nil context never cancels).
-func (e *Engine) checkCtx() error {
-	if e.ctx == nil {
+// ctxErr reports the context error, if any (nil context never cancels).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
 		return nil
 	}
-	return e.ctx.Err()
+	return ctx.Err()
 }
 
 // Option configures an Engine.
@@ -55,6 +67,22 @@ func WithMeasure(m Measure) Option { return func(e *Engine) { e.measure = m } }
 
 // WithMaterializer selects the materialization strategy (default Baseline).
 func WithMaterializer(m Materializer) Option { return func(e *Engine) { e.mat = m } }
+
+// WithQueryParallelism bounds the intra-query execution pipeline: queries
+// with enough candidates split the candidate set into chunks and run
+// materialize→score fused per chunk on n workers, each holding a view of
+// the engine's materializer. n <= 0 (the default) uses GOMAXPROCS; n == 1
+// forces the sequential path. Results are identical for every n — the
+// pipeline changes wall-clock time and peak memory, never the ranking, the
+// skip list or the vector counters.
+func WithQueryParallelism(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.parallelism = n
+	}
+}
 
 // WithObs connects the engine to an observability registry and (optionally)
 // a slow-query log: every query observes its latency and phase breakdown
@@ -88,6 +116,14 @@ func (e *Engine) Materializer() Materializer { return e.mat }
 // Combination returns the configured multi-path combination mode.
 func (e *Engine) Combination() Combination { return e.combine }
 
+// QueryParallelism returns the effective intra-query worker count.
+func (e *Engine) QueryParallelism() int {
+	if e.parallelism > 0 {
+		return e.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Entry is one ranked outlier: smaller Score means more outlying.
 type Entry struct {
 	Vertex hin.VertexID
@@ -96,6 +132,9 @@ type Entry struct {
 }
 
 // Timing is the per-query cost breakdown reported in the Figure 4 study.
+// Under the parallel pipeline the durations are summed across workers
+// (CPU time, not wall time); the vector counters are exact and identical
+// for every worker count.
 type Timing struct {
 	Total        time.Duration
 	SetRetrieval time.Duration
@@ -126,7 +165,10 @@ type Result struct {
 	// Trace is the per-phase breakdown (parse → validate → plan →
 	// materialize → score → rank); phases recorded contiguously, so their
 	// durations sum to the trace total. The parse span is present only for
-	// queries entered as text (Execute/ExecuteContext).
+	// queries entered as text (Execute/ExecuteContext). Under the parallel
+	// pipeline scoring is fused into the materialize span and the score
+	// span is (near-)empty; the span's vector and cache counters aggregate
+	// all workers and match the sequential execution exactly.
 	Trace *obs.Trace
 }
 
@@ -149,22 +191,10 @@ func (e *Engine) ExecuteContext(ctx context.Context, src string) (*Result, error
 		return nil, err
 	}
 	tr.EndPhase("parse", obs.SpanStats{})
-	e.tracer = tr
-	return e.ExecuteQueryContext(ctx, q)
+	return e.executeQuery(ctx, q, tr)
 }
 
 const queriesHelp = "Queries executed by outcome (parse/validation failures and cancellations count as errors)."
-
-// takeTracer claims the trace a text entry point started, or starts a fresh
-// one for queries entered pre-parsed.
-func (e *Engine) takeTracer() *obs.Tracer {
-	tr := e.tracer
-	e.tracer = nil
-	if tr == nil {
-		tr = obs.StartTrace()
-	}
-	return tr
-}
 
 // observeQuery seals the trace onto the result and feeds the configured
 // registry and slow-query log.
@@ -201,20 +231,20 @@ func (e *Engine) ExecuteQuery(q *oql.Query) (*Result, error) {
 	return e.ExecuteQueryContext(context.Background(), q)
 }
 
-// ExecuteQueryContext runs a parsed query with cancellation.
-func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Result, err error) {
+// ExecuteQueryContext runs a parsed query with cancellation. The context is
+// threaded through the whole call chain (never stored on the Engine), so
+// concurrent queries on one engine each observe exactly their own context.
+func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result, error) {
+	return e.executeQuery(ctx, q, obs.StartTrace())
+}
+
+// executeQuery runs a parsed query against a trace whose parse phase (if
+// any) has already been recorded.
+func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer) (res *Result, err error) {
 	start := time.Now()
-	tr := e.takeTracer()
 	defer func() { e.observeQuery(tr, q, res, err) }()
-	e.ctx = ctx
-	// The context must not outlive the query: a later direct call to a
-	// context-less entry point (EvalSet, Explain, ...) would otherwise
-	// observe a stale cancellation and fail spuriously.
-	defer func() { e.ctx = nil }()
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	if _, err := oql.Validate(q, e.g.Schema()); err != nil {
 		return nil, err
@@ -223,13 +253,13 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Re
 
 	// Plan: resolve the candidate/reference sets and the feature meta-paths.
 	setStart := time.Now()
-	cands, err := e.EvalSet(q.From)
+	cands, err := e.EvalSetContext(ctx, q.From)
 	if err != nil {
 		return nil, err
 	}
 	refs := cands
 	if q.ComparedTo != nil {
-		refs, err = e.EvalSet(q.ComparedTo)
+		refs, err = e.EvalSetContext(ctx, q.ComparedTo)
 		if err != nil {
 			return nil, err
 		}
@@ -249,13 +279,25 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Re
 	res.Timing.SetRetrieval = time.Since(setStart)
 	tr.EndPhase("plan", obs.SpanStats{})
 
-	// Materialize Φ for Sr and Sc under every feature meta-path.
+	plan := &queryPlan{q: q, cands: cands, refs: refs, paths: paths, weights: weights}
+	if ws, ok := e.pipelineWorkers(len(cands)); ok {
+		err := e.executeParallel(ctx, plan, res, tr, ws)
+		e.releaseWorkers(ws)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.Total = time.Since(start)
+		return res, nil
+	}
+
+	// Sequential path: materialize Φ for Sr and Sc under every feature
+	// meta-path, then score, then rank.
 	matBefore := e.mat.Stats()
 	cacheBefore, _ := CacheStatsOf(e.mat)
 	candPerPath := make([][]sparse.Vector, len(q.Features))
 	refPerPath := make([][]sparse.Vector, len(q.Features))
 	for m := range q.Features {
-		candPerPath[m], refPerPath[m], err = e.materializeFeature(paths[m], cands, refs, &res.Timing)
+		candPerPath[m], refPerPath[m], err = e.materializeFeature(ctx, paths[m], cands, refs, &res.Timing)
 		if err != nil {
 			return nil, err
 		}
@@ -280,8 +322,9 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Re
 		stride := int32(e.g.NumVertices())
 		candVecs := concatVectors(candPerPath, weights, stride)
 		refVecs := concatVectors(refPerPath, weights, stride)
-		for i, s := range ScoreVectors(e.measure, candVecs, refVecs) {
-			if !math.IsNaN(s) {
+		rs := newRefScorer(e.measure, refVecs)
+		for i, phi := range candVecs {
+			if s := rs.score(phi); !math.IsNaN(s) {
 				combined[i] = s
 				seen[i] = true
 			}
@@ -294,7 +337,9 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Re
 		// invisible paths' weight (which would fake extra outlierness).
 		seenWeight := make([]float64, len(cands))
 		for m := range q.Features {
-			for i, s := range ScoreVectors(e.measure, candPerPath[m], refPerPath[m]) {
+			rs := newRefScorer(e.measure, refPerPath[m])
+			for i, phi := range candPerPath[m] {
+				s := rs.score(phi)
 				if math.IsNaN(s) {
 					continue
 				}
@@ -311,27 +356,19 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Re
 	}
 	tr.EndPhase("score", obs.SpanStats{})
 
-	res.Entries = make([]Entry, 0, len(cands))
+	sel := newTopSelector(q.TopK)
 	for i, v := range cands {
 		if !seen[i] {
 			res.Skipped = append(res.Skipped, v)
 			continue
 		}
-		res.Entries = append(res.Entries, Entry{
+		sel.push(Entry{
 			Vertex: v,
 			Name:   e.g.Name(v),
 			Score:  combined[i],
 		})
 	}
-	sort.Slice(res.Entries, func(i, j int) bool {
-		if res.Entries[i].Score != res.Entries[j].Score {
-			return res.Entries[i].Score < res.Entries[j].Score
-		}
-		return res.Entries[i].Vertex < res.Entries[j].Vertex
-	})
-	if q.TopK > 0 && len(res.Entries) > q.TopK {
-		res.Entries = res.Entries[:q.TopK]
-	}
+	res.Entries = sel.ranked()
 	tr.EndPhase("rank", obs.SpanStats{})
 	res.Timing.Scoring += time.Since(scoreStart)
 	res.Timing.Total = time.Since(start)
@@ -340,11 +377,11 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (res *Re
 
 // materializeFeature computes Φ_p for all reference and candidate vertices,
 // charging materializer time to the timing breakdown.
-func (e *Engine) materializeFeature(p metapath.Path, cands, refs []hin.VertexID, tm *Timing) (candVecs, refVecs []sparse.Vector, err error) {
+func (e *Engine) materializeFeature(ctx context.Context, p metapath.Path, cands, refs []hin.VertexID, tm *Timing) (candVecs, refVecs []sparse.Vector, err error) {
 	before := e.mat.Stats()
 	refVecs = make([]sparse.Vector, len(refs))
 	for j, v := range refs {
-		if err = e.checkCtx(); err != nil {
+		if err = ctxErr(ctx); err != nil {
 			return nil, nil, err
 		}
 		if refVecs[j], err = e.mat.NeighborVector(p, v); err != nil {
@@ -353,7 +390,7 @@ func (e *Engine) materializeFeature(p metapath.Path, cands, refs []hin.VertexID,
 	}
 	candVecs = make([]sparse.Vector, len(cands))
 	for i, v := range cands {
-		if err = e.checkCtx(); err != nil {
+		if err = ctxErr(ctx); err != nil {
 			return nil, nil, err
 		}
 		if candVecs[i], err = e.mat.NeighborVector(p, v); err != nil {
@@ -384,15 +421,21 @@ func (e *Engine) CandidateSet(src string) ([]hin.VertexID, error) {
 
 // EvalSet resolves a set expression to a sorted slice of vertex IDs.
 func (e *Engine) EvalSet(expr oql.SetExpr) ([]hin.VertexID, error) {
+	return e.EvalSetContext(context.Background(), expr)
+}
+
+// EvalSetContext is EvalSet with cancellation, checked at per-vertex
+// granularity while WHERE conditions are evaluated.
+func (e *Engine) EvalSetContext(ctx context.Context, expr oql.SetExpr) ([]hin.VertexID, error) {
 	switch x := expr.(type) {
 	case *oql.SetChain:
-		return e.evalChain(x)
+		return e.evalChain(ctx, x)
 	case *oql.SetBinary:
-		left, err := e.EvalSet(x.Left)
+		left, err := e.EvalSetContext(ctx, x.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.EvalSet(x.Right)
+		right, err := e.EvalSetContext(ctx, x.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -409,7 +452,17 @@ func (e *Engine) EvalSet(expr oql.SetExpr) ([]hin.VertexID, error) {
 	return nil, fmt.Errorf("core: unknown set expression %T", expr)
 }
 
-func (e *Engine) evalChain(c *oql.SetChain) ([]hin.VertexID, error) {
+// expandSet advances a vertex set one hop on the engine's shared traverser.
+// The mutex makes set evaluation safe under concurrent queries (the
+// traverser's scratch is single-goroutine); expansion itself stays
+// sequential per step.
+func (e *Engine) expandSet(set []hin.VertexID, t hin.TypeID) []hin.VertexID {
+	e.trMu.Lock()
+	defer e.trMu.Unlock()
+	return e.tr.ExpandSet(set, t)
+}
+
+func (e *Engine) evalChain(ctx context.Context, c *oql.SetChain) ([]hin.VertexID, error) {
 	s := e.g.Schema()
 	anchorType, ok := s.TypeByName(c.TypeName)
 	if !ok {
@@ -434,15 +487,15 @@ func (e *Engine) evalChain(c *oql.SetChain) ([]hin.VertexID, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: unknown vertex type %q", step)
 		}
-		set = e.tr.ExpandSet(set, t)
+		set = e.expandSet(set, t)
 	}
 	if c.Where != nil {
 		filtered := set[:0:0]
 		for _, v := range set {
-			if err := e.checkCtx(); err != nil {
+			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
-			keep, err := e.evalCond(c.Where, v)
+			keep, err := e.evalCond(ctx, c.Where, v)
 			if err != nil {
 				return nil, err
 			}
@@ -455,10 +508,10 @@ func (e *Engine) evalChain(c *oql.SetChain) ([]hin.VertexID, error) {
 	return set, nil
 }
 
-func (e *Engine) evalCond(cond oql.Cond, v hin.VertexID) (bool, error) {
+func (e *Engine) evalCond(ctx context.Context, cond oql.Cond, v hin.VertexID) (bool, error) {
 	switch c := cond.(type) {
 	case *oql.CondBinary:
-		l, err := e.evalCond(c.Left, v)
+		l, err := e.evalCond(ctx, c.Left, v)
 		if err != nil {
 			return false, err
 		}
@@ -470,9 +523,9 @@ func (e *Engine) evalCond(cond oql.Cond, v hin.VertexID) (bool, error) {
 		if c.Op == oql.CondOr && l {
 			return true, nil
 		}
-		return e.evalCond(c.Right, v)
+		return e.evalCond(ctx, c.Right, v)
 	case *oql.CondNot:
-		inner, err := e.evalCond(c.Inner, v)
+		inner, err := e.evalCond(ctx, c.Inner, v)
 		return !inner, err
 	case *oql.CondCount:
 		n, err := e.countNeighbors(v, c.Segments)
@@ -495,7 +548,7 @@ func (e *Engine) countNeighbors(v hin.VertexID, steps []string) (int, error) {
 		if !ok {
 			return 0, fmt.Errorf("core: unknown vertex type %q", step)
 		}
-		set = e.tr.ExpandSet(set, t)
+		set = e.expandSet(set, t)
 	}
 	return len(set), nil
 }

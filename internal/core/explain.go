@@ -79,13 +79,18 @@ func (e *Engine) Explain(src string, candidateName string, topN int) (*Explanati
 		return nil, err
 	}
 	tr.EndPhase("parse", obs.SpanStats{})
-	e.tracer = tr
-	return e.ExplainQuery(q, candidateName, topN)
+	return e.explainQuery(q, candidateName, topN, tr)
 }
 
 // ExplainQuery is Explain for a parsed query.
 func (e *Engine) ExplainQuery(q *oql.Query, candidateName string, topN int) (*Explanation, error) {
-	tr := e.takeTracer()
+	return e.explainQuery(q, candidateName, topN, obs.StartTrace())
+}
+
+// explainQuery explains against a trace whose parse phase (if any) has
+// already been recorded; the tracer travels as a parameter so concurrent
+// Explain calls on one engine never share trace state.
+func (e *Engine) explainQuery(q *oql.Query, candidateName string, topN int, tr *obs.Tracer) (*Explanation, error) {
 	if e.measure != MeasureNetOut {
 		return nil, fmt.Errorf("core: explanations are defined for the NetOut measure (engine uses %s)", e.measure)
 	}

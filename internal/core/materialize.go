@@ -55,6 +55,16 @@ func (s MatStats) Sub(o MatStats) MatStats {
 	}
 }
 
+// Add returns the sum s + o, for aggregating per-worker stat deltas.
+func (s MatStats) Add(o MatStats) MatStats {
+	return MatStats{
+		IndexedTime:      s.IndexedTime + o.IndexedTime,
+		TraversalTime:    s.TraversalTime + o.TraversalTime,
+		IndexedVectors:   s.IndexedVectors + o.IndexedVectors,
+		TraversedVectors: s.TraversedVectors + o.TraversedVectors,
+	}
+}
+
 // Materializer produces neighbor vectors Φ_P(v), possibly from a
 // pre-computed index. The baseline and indexed (PM/SPM) implementations
 // are not safe for concurrent use — share their immutable index across

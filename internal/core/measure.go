@@ -64,76 +64,92 @@ func (m Measure) String() string {
 // O(|Sr|+|Sc|) sparse operations; PathSim is inherently pairwise,
 // O(|Sr|·|Sc|), exactly as discussed under Definition 10.
 func ScoreVectors(m Measure, cands, refs []sparse.Vector) []float64 {
+	rs := newRefScorer(m, refs)
+	out := make([]float64, len(cands))
+	for i, phi := range cands {
+		out[i] = rs.score(phi)
+	}
+	return out
+}
+
+// refScorer is a measure's reference-side precomputation: everything that
+// depends only on Sr, computed once per (query, path) and then shared
+// read-only — the sequential path builds one per ScoreVectors call, the
+// chunked pipeline builds one up front and lets every worker score against
+// it concurrently.
+type refScorer struct {
+	m Measure
+	// s is the separable reference aggregate of Equation (1): Σ Φ(vj) for
+	// NetOut, Σ Φ(vj)/‖Φ(vj)‖ for CosSim.
+	s sparse.Vector
+	// refs and refVis are PathSim's pairwise inputs with the per-reference
+	// visibilities κ(vj,vj) hoisted out of the candidate loop. References
+	// with zero visibility are dropped up front: their term is
+	// 2·Φ(vi)·Φ(vj)/(κii+0) = 0 for every visible candidate (the dot of
+	// anything with an empty vector is +0, and adding +0 to a sum of
+	// non-negative terms leaves its bits unchanged), so skipping them is
+	// bit-identical.
+	refs   []sparse.Vector
+	refVis []float64
+}
+
+func newRefScorer(m Measure, refs []sparse.Vector) *refScorer {
+	rs := &refScorer{m: m}
 	switch m {
 	case MeasureNetOut:
-		return scoreNetOut(cands, refs)
-	case MeasurePathSim:
-		return scorePathSim(cands, refs)
+		// Ω(vi) = Φ(vi)·S / ‖Φ(vi)‖₂² with S = Σ_{vj∈Sr} Φ(vj).
+		rs.s = sparse.Sum(refs)
 	case MeasureCosSim:
-		return scoreCosSim(cands, refs)
-	}
-	panic(fmt.Sprintf("core: unknown measure %d", int(m)))
-}
-
-func scoreNetOut(cands, refs []sparse.Vector) []float64 {
-	// Ω(vi) = Φ(vi)·S / ‖Φ(vi)‖₂² with S = Σ_{vj∈Sr} Φ(vj).
-	s := sparse.Sum(refs)
-	out := make([]float64, len(cands))
-	for i, phi := range cands {
-		vis := phi.Norm2Sq()
-		if vis == 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		out[i] = phi.Dot(s) / vis
-	}
-	return out
-}
-
-func scorePathSim(cands, refs []sparse.Vector) []float64 {
-	refVis := make([]float64, len(refs))
-	for j, r := range refs {
-		refVis[j] = r.Norm2Sq()
-	}
-	out := make([]float64, len(cands))
-	for i, phi := range cands {
-		vis := phi.Norm2Sq()
-		if vis == 0 {
-			out[i] = math.NaN()
-			continue
-		}
-		var sum float64
-		for j, r := range refs {
-			den := vis + refVis[j]
-			if den == 0 {
-				continue
+		// Σ_j cos(Φi,Φj) = (Φi/‖Φi‖)·Σ_j Φj/‖Φj‖: separable like NetOut.
+		normRefs := make([]sparse.Vector, 0, len(refs))
+		for _, r := range refs {
+			if n := r.Normalize(); !n.IsZero() {
+				normRefs = append(normRefs, n)
 			}
-			sum += 2 * phi.Dot(r) / den
 		}
-		out[i] = sum
+		rs.s = sparse.Sum(normRefs)
+	case MeasurePathSim:
+		rs.refs = make([]sparse.Vector, 0, len(refs))
+		rs.refVis = make([]float64, 0, len(refs))
+		for _, r := range refs {
+			if vis := r.Norm2Sq(); vis > 0 {
+				rs.refs = append(rs.refs, r)
+				rs.refVis = append(rs.refVis, vis)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown measure %d", int(m)))
 	}
-	return out
+	return rs
 }
 
-func scoreCosSim(cands, refs []sparse.Vector) []float64 {
-	// Σ_j cos(Φi,Φj) = (Φi/‖Φi‖)·Σ_j Φj/‖Φj‖: separable like NetOut.
-	normRefs := make([]sparse.Vector, 0, len(refs))
-	for _, r := range refs {
-		if n := r.Normalize(); !n.IsZero() {
-			normRefs = append(normRefs, n)
+// score evaluates one candidate against the precomputed reference side.
+// Safe for concurrent use: the receiver is read-only after newRefScorer.
+func (rs *refScorer) score(phi sparse.Vector) float64 {
+	switch rs.m {
+	case MeasureNetOut:
+		vis := phi.Norm2Sq()
+		if vis == 0 {
+			return math.NaN()
 		}
-	}
-	s := sparse.Sum(normRefs)
-	out := make([]float64, len(cands))
-	for i, phi := range cands {
+		return phi.Dot(rs.s) / vis
+	case MeasureCosSim:
 		n := phi.Normalize()
 		if n.IsZero() {
-			out[i] = math.NaN()
-			continue
+			return math.NaN()
 		}
-		out[i] = n.Dot(s)
+		return n.Dot(rs.s)
+	default: // MeasurePathSim
+		vis := phi.Norm2Sq()
+		if vis == 0 {
+			return math.NaN()
+		}
+		var sum float64
+		for j, r := range rs.refs {
+			sum += 2 * phi.Dot(r) / (vis + rs.refVis[j])
+		}
+		return sum
 	}
-	return out
 }
 
 // NormalizedConnectivity returns σ(a,b) = κ(a,b)/κ(a,a) (Definition 9)

@@ -103,10 +103,10 @@ func TestServePoolMetricsMatchStats(t *testing.T) {
 
 	// Pool traffic: scrape == ServeStats, exactly.
 	exact := map[string]float64{
-		"netout_serve_workers":             3,
-		"netout_serve_served_total":        float64(st.Served),
-		"netout_serve_failed_total":        float64(st.Failed),
-		"netout_serve_queue_seconds_total": float64(st.QueueWait.Nanoseconds()) / 1e9,
+		"netout_serve_workers":               3,
+		"netout_serve_served_total":          float64(st.Served),
+		"netout_serve_failed_total":          float64(st.Failed),
+		"netout_serve_queue_seconds_total":   float64(st.QueueWait.Nanoseconds()) / 1e9,
 		"netout_serve_execute_seconds_total": float64(st.Execute.Nanoseconds()) / 1e9,
 
 		// Shared cache: scrape == CacheStatsOf, exactly.

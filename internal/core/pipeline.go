@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/obs"
+	"netout/internal/oql"
+	"netout/internal/sparse"
+)
+
+// Chunked intra-query pipeline. A query's candidates are independent of each
+// other once the reference side is fixed — Ω(vi) reads Φ(vi) and the
+// reference aggregate only — so the candidate set splits into fixed-size
+// chunks and a worker pool runs materialize→score FUSED per chunk: each
+// worker materializes a chunk's Φ vectors on its own materializer view,
+// scores them against the shared refScorer, feeds its bounded top-n
+// selector, and drops the vectors before touching the next chunk. Peak
+// memory is O(workers·chunk + |Sr|) vectors instead of O(|Sc|·paths), and a
+// query uses every core instead of one.
+//
+// Determinism contract: for any worker count the pipeline produces the SAME
+// Result as the sequential path — Entries bit-identical, Skipped identical,
+// every vector/cache counter identical. The arguments, relied on by the
+// property tests:
+//
+//   - Scores: each candidate's arithmetic touches only its own Φ and the
+//     reference precompute. The refScorer is built once, sequentially, from
+//     the reference-ordered vector slices, so the float association of the
+//     reference sums matches the sequential path exactly; per-candidate
+//     score = same ops in the same order ⇒ same bits.
+//   - Ranking: (score, vertex) is a strict total order over candidates, so
+//     the top-k set and its sorted order are unique; per-worker bounded
+//     selection + merge always reconstructs them (a global top-k entry is
+//     necessarily in its worker's top-k).
+//   - Counters: the reference phase is a barrier, so under the shared cache
+//     every (path, vertex) load is classified hit/miss identically for any
+//     schedule; traversal/indexed counts are per-load and order-free.
+const parallelChunk = 128
+
+// queryPlan carries a resolved query between the planner and an executor.
+type queryPlan struct {
+	q       *oql.Query
+	cands   []hin.VertexID
+	refs    []hin.VertexID
+	paths   []metapath.Path
+	weights []float64
+}
+
+// pipeWorker is one pipeline worker's private state.
+type pipeWorker struct {
+	mat  Materializer // view of the engine's materializer (NewView)
+	base MatStats     // stats snapshot at construction, for delta aggregation
+	sel  *topSelector
+	// vecs[m] is the reusable chunk buffer of Φ vectors under path m.
+	vecs [][]sparse.Vector
+	// sum/sumW/ok are CombineAverage chunk scratch (weighted score
+	// accumulation, mirroring the sequential combined/seenWeight/seen).
+	sum, sumW []float64
+	ok        []bool
+	scoreNs   int64
+}
+
+// pipelineWorkers decides whether the parallel pipeline applies and builds
+// its workers. It declines — falling back to the sequential path — when the
+// engine's parallelism is 1, when the candidate set is too small to fill
+// more than one chunk, or when the materializer has no concurrent view.
+func (e *Engine) pipelineWorkers(nCands int) ([]*pipeWorker, bool) {
+	n := e.QueryParallelism()
+	if n <= 1 || nCands <= parallelChunk {
+		return nil, false
+	}
+	if chunks := (nCands + parallelChunk - 1) / parallelChunk; n > chunks {
+		n = chunks
+	}
+	ws := make([]*pipeWorker, 0, n)
+	for i := 0; i < n; i++ {
+		w, _ := e.workerPool.Get().(*pipeWorker)
+		if w == nil {
+			view, err := NewView(e.mat)
+			if err != nil {
+				e.releaseWorkers(ws)
+				return nil, false
+			}
+			w = &pipeWorker{mat: view}
+		}
+		// Re-snapshot at acquisition: a recycled worker's view has
+		// accumulated stats from earlier queries.
+		w.base = w.mat.Stats()
+		w.scoreNs = 0
+		ws = append(ws, w)
+	}
+	return ws, true
+}
+
+// releaseWorkers hands workers back to the engine's pool once a query is
+// done with them (runChunks joins all goroutines before returning, so no
+// worker is in flight here). Selectors are dropped — they reference result
+// entries — while views and chunk scratch are kept for the next query.
+func (e *Engine) releaseWorkers(ws []*pipeWorker) {
+	for _, w := range ws {
+		w.sel = nil
+		e.workerPool.Put(w)
+	}
+}
+
+// runChunks fans [0, n) out to the workers in parallelChunk-sized chunks
+// claimed off an atomic cursor. fn must write only worker-private state and
+// shared slots inside its own [lo, hi) — chunk ranges are disjoint, so such
+// writes never race. On error the other workers stop at their next chunk
+// boundary; the first failing worker's error (by worker index) is returned.
+func runChunks(ws []*pipeWorker, n int, fn func(w *pipeWorker, lo, hi int) error) error {
+	nChunks := (n + parallelChunk - 1) / parallelChunk
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for wi, w := range ws {
+		wg.Add(1)
+		go func(wi int, w *pipeWorker) {
+			defer wg.Done()
+			for !failed.Load() {
+				c := int(cursor.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				hi := min((c+1)*parallelChunk, n)
+				if err := fn(w, c*parallelChunk, hi); err != nil {
+					errs[wi] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeParallel runs the materialize/score/rank phases of a planned query
+// on the chunked pipeline, filling res in place. The trace receives the
+// same phase sequence as the sequential path (materialize → score → rank);
+// scoring is fused into the materialize span's wall time, so the score span
+// is recorded (near-)empty with the counters aggregated across workers.
+func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Result, tr *obs.Tracer, ws []*pipeWorker) error {
+	cands, refs, paths, weights := plan.cands, plan.refs, plan.paths, plan.weights
+	matBefore := e.mat.Stats()
+	cacheBefore, _ := CacheStatsOf(e.mat)
+	// Views of the cached materializer share its counters, so per-view
+	// deltas would count every load len(ws) times; take one whole-phase
+	// delta on the shared state instead. Baseline/PM/SPM views carry
+	// private stats: sum the per-worker deltas.
+	_, statsShared := e.mat.(*cached)
+
+	// Reference phase (a barrier: scorers need all of Sr). Chunk-parallel
+	// materialization into slot-addressed, reference-ordered slices.
+	refPerPath := make([][]sparse.Vector, len(paths))
+	for m := range refPerPath {
+		refPerPath[m] = make([]sparse.Vector, len(refs))
+	}
+	err := runChunks(ws, len(refs), func(w *pipeWorker, lo, hi int) error {
+		for m := range paths {
+			for j := lo; j < hi; j++ {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+				vec, err := w.mat.NeighborVector(paths[m], refs[j])
+				if err != nil {
+					return err
+				}
+				refPerPath[m][j] = vec
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Reference-side precompute, built once and shared read-only by every
+	// worker. Sequential on purpose: summing per-worker partial sums would
+	// change the floating-point association and break bit-identity with the
+	// sequential path.
+	stride := int32(e.g.NumVertices())
+	var concatRS *refScorer // CombineConcat: one scorer over combined vectors
+	var pathRS []*refScorer // CombineAverage: one scorer per feature path
+	if e.combine == CombineConcat {
+		concatRS = newRefScorer(e.measure, concatVectors(refPerPath, weights, stride))
+	} else {
+		pathRS = make([]*refScorer, len(paths))
+		for m := range paths {
+			pathRS[m] = newRefScorer(e.measure, refPerPath[m])
+		}
+	}
+	refPerPath = nil // scorers hold what they need; separable measures free Sr now
+
+	// Candidate phase: fused materialize→score per chunk. seen is written at
+	// disjoint per-chunk slots; everything else a worker touches is its own.
+	seen := make([]bool, len(cands))
+	for _, w := range ws {
+		w.sel = newTopSelector(plan.q.TopK)
+		if len(w.vecs) != len(paths) {
+			w.vecs = make([][]sparse.Vector, len(paths))
+		}
+		if concatRS == nil && w.sum == nil {
+			w.sum = make([]float64, parallelChunk)
+			w.sumW = make([]float64, parallelChunk)
+			w.ok = make([]bool, parallelChunk)
+		}
+	}
+	err = runChunks(ws, len(cands), func(w *pipeWorker, lo, hi int) error {
+		for m := range paths {
+			buf := w.vecs[m][:0]
+			for _, v := range cands[lo:hi] {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+				vec, err := w.mat.NeighborVector(paths[m], v)
+				if err != nil {
+					return err
+				}
+				buf = append(buf, vec)
+			}
+			w.vecs[m] = buf
+		}
+		start := time.Now()
+		w.scoreChunk(e, plan, concatRS, pathRS, stride, seen, lo, hi)
+		w.scoreNs += time.Since(start).Nanoseconds()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var d MatStats
+	if statsShared {
+		d = e.mat.Stats().Sub(matBefore)
+	} else {
+		for _, w := range ws {
+			d = d.Add(w.mat.Stats().Sub(w.base))
+		}
+	}
+	res.Timing.NotIndexed += d.TraversalTime
+	res.Timing.Indexed += d.IndexedTime
+	res.Timing.TraversedVectors += d.TraversedVectors
+	res.Timing.IndexedVectors += d.IndexedVectors
+	cacheAfter, _ := CacheStatsOf(e.mat)
+	tr.EndPhase("materialize", obs.SpanStats{
+		TraversedVectors: d.TraversedVectors,
+		IndexedVectors:   d.IndexedVectors,
+		CacheHits:        cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:      cacheAfter.Misses - cacheBefore.Misses,
+	})
+	// Scoring ran fused inside the materialize span; keep the phase sequence
+	// intact with an empty score span.
+	tr.EndPhase("score", obs.SpanStats{})
+
+	rankStart := time.Now()
+	sel := ws[0].sel
+	for _, w := range ws[1:] {
+		sel.merge(w.sel)
+	}
+	for i, v := range cands {
+		if !seen[i] {
+			res.Skipped = append(res.Skipped, v)
+		}
+	}
+	res.Entries = sel.ranked()
+	tr.EndPhase("rank", obs.SpanStats{})
+	var scoreNs int64
+	for _, w := range ws {
+		scoreNs += w.scoreNs
+	}
+	res.Timing.Scoring += time.Duration(scoreNs) + time.Since(rankStart)
+	return nil
+}
+
+// scoreChunk scores the freshly-materialized chunk [lo, hi) in w.vecs,
+// marks characterized candidates in seen and pushes their entries into the
+// worker's selector. The combination arithmetic replicates the sequential
+// path operation for operation (see executeQuery) so scores are
+// bit-identical.
+func (w *pipeWorker) scoreChunk(e *Engine, plan *queryPlan, concatRS *refScorer, pathRS []*refScorer, stride int32, seen []bool, lo, hi int) {
+	cands := plan.cands
+	if concatRS != nil {
+		for i, phi := range concatVectors(w.vecs, plan.weights, stride) {
+			if s := concatRS.score(phi); !math.IsNaN(s) {
+				seen[lo+i] = true
+				w.sel.push(Entry{Vertex: cands[lo+i], Name: e.g.Name(cands[lo+i]), Score: s})
+			}
+		}
+		return
+	}
+	n := hi - lo
+	for i := 0; i < n; i++ {
+		w.sum[i], w.sumW[i], w.ok[i] = 0, 0, false
+	}
+	for m := range pathRS {
+		rs := pathRS[m]
+		wt := plan.weights[m]
+		for i, phi := range w.vecs[m] {
+			s := rs.score(phi)
+			if math.IsNaN(s) {
+				continue
+			}
+			w.sum[i] += wt * s
+			w.sumW[i] += wt
+			w.ok[i] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !w.ok[i] {
+			continue
+		}
+		sc := w.sum[i]
+		if w.sumW[i] > 0 {
+			sc = w.sum[i] / w.sumW[i]
+		}
+		seen[lo+i] = true
+		w.sel.push(Entry{Vertex: cands[lo+i], Name: e.g.Name(cands[lo+i]), Score: sc})
+	}
+}

@@ -44,6 +44,13 @@ type ServeOptions struct {
 	// (warm-shared for caches, read-only for PM/SPM indexes); nil means
 	// each worker gets its own baseline.
 	Materializer Materializer
+	// QueryParallelism bounds each worker engine's intra-query pipeline
+	// (WithQueryParallelism). The pool default is 1 — pools already spread
+	// queries across Workers cores, and letting every worker fan out to
+	// GOMAXPROCS more goroutines would oversubscribe the machine. Raise it
+	// for pools sized below the core count that still see huge single
+	// queries.
+	QueryParallelism int
 	// Obs, if set, receives the pool's metrics: served/failed totals and
 	// cumulative queue-wait/execute seconds (read from the same atomics
 	// Stats reports, so a scrape matches ServeStats exactly), the shared
@@ -102,6 +109,10 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	queryPar := opts.QueryParallelism
+	if queryPar <= 0 {
+		queryPar = 1
+	}
 	engines := make([]*Engine, workers)
 	for w := range engines {
 		var mat Materializer
@@ -118,6 +129,7 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 			WithMeasure(opts.Measure),
 			WithCombination(opts.Combination),
 			WithMaterializer(mat),
+			WithQueryParallelism(queryPar),
 			WithObs(opts.Obs, opts.SlowLog))
 	}
 	p := &ServePool{jobs: make(chan serveJob)}

@@ -1,0 +1,104 @@
+package core
+
+import "sort"
+
+// entryBefore is the ranking order: ascending score (smaller = more
+// outlying), vertex ID breaking score ties. Candidates are unique per
+// query, so this is a strict total order — every selection below is fully
+// deterministic regardless of push or merge order.
+func entryBefore(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Vertex < b.Vertex
+}
+
+// topSelector retains the best k entries under entryBefore without holding
+// the full candidate set: a bounded binary max-heap whose root is the worst
+// retained entry, making selection O(n log k) against the old full
+// sort.Slice+truncate's O(n log n) — and, under the chunked pipeline,
+// letting every scored-and-ranked candidate vector be dropped immediately.
+// k <= 0 means unbounded (the query has no TOP clause): entries are simply
+// collected and sorted at the end.
+type topSelector struct {
+	k       int
+	entries []Entry // max-heap ordered when bounded and full; plain slice otherwise
+}
+
+func newTopSelector(k int) *topSelector {
+	if k < 0 {
+		k = 0
+	}
+	s := &topSelector{k: k}
+	if k > 0 {
+		s.entries = make([]Entry, 0, k)
+	}
+	return s
+}
+
+// push offers one entry to the selection.
+func (s *topSelector) push(e Entry) {
+	if s.k <= 0 {
+		s.entries = append(s.entries, e)
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, e)
+		s.up(len(s.entries) - 1)
+		return
+	}
+	// Full: the root is the worst retained entry; replace it only if the
+	// offered entry ranks strictly ahead of it.
+	if entryBefore(e, s.entries[0]) {
+		s.entries[0] = e
+		s.down(0)
+	}
+}
+
+// merge absorbs every entry retained by o. The k globally-best entries are
+// always contained in the union of per-worker top-k sets, so merging the
+// workers' selectors loses nothing.
+func (s *topSelector) merge(o *topSelector) {
+	for _, e := range o.entries {
+		s.push(e)
+	}
+}
+
+// ranked returns the retained entries most outlying first, consuming the
+// selector.
+func (s *topSelector) ranked() []Entry {
+	sort.Slice(s.entries, func(i, j int) bool { return entryBefore(s.entries[i], s.entries[j]) })
+	return s.entries
+}
+
+// up restores the max-heap property from leaf i toward the root (a parent
+// must never rank ahead of its children: the worst entry bubbles to the top).
+func (s *topSelector) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryBefore(s.entries[p], s.entries[i]) {
+			return
+		}
+		s.entries[p], s.entries[i] = s.entries[i], s.entries[p]
+		i = p
+	}
+}
+
+// down restores the max-heap property from i toward the leaves.
+func (s *topSelector) down(i int) {
+	n := len(s.entries)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && entryBefore(s.entries[worst], s.entries[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && entryBefore(s.entries[worst], s.entries[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		s.entries[i], s.entries[worst] = s.entries[worst], s.entries[i]
+		i = worst
+	}
+}

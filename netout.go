@@ -208,6 +208,13 @@ func WithMeasure(m Measure) EngineOption { return core.WithMeasure(m) }
 // WithMaterializer selects the materialization strategy.
 func WithMaterializer(m Materializer) EngineOption { return core.WithMaterializer(m) }
 
+// WithQueryParallelism bounds the engine's intra-query execution pipeline:
+// queries with enough candidates split the candidate set into chunks and
+// run materialize→score fused per chunk on n workers. n <= 0 (the default)
+// uses GOMAXPROCS; n == 1 forces the sequential path. Results are identical
+// for every n.
+func WithQueryParallelism(n int) EngineOption { return core.WithQueryParallelism(n) }
+
 // NewBaseline returns the traversal-only materializer.
 func NewBaseline(g *Graph) Materializer { return core.NewBaseline(g) }
 
