@@ -17,7 +17,9 @@ test: vet
 
 # -cpu 1,4 runs every test at both GOMAXPROCS values: 1 pins the sequential
 # engine path, 4 exercises the intra-query pipeline and the re-entrant
-# Engine under contention.
+# Engine under contention. This is also the gate for the fault-injection
+# suite (internal/core/faultinject_test.go): panic isolation, admission
+# control and deadline degradation are only proven if they hold under -race.
 race:
 	$(GO) test -race -cpu 1,4 ./...
 

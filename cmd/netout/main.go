@@ -50,6 +50,9 @@ func main() {
 		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
 		timing      = flag.Bool("timing", false, "print per-query timing breakdown and phase trace")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/slow and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		serveAddr   = flag.String("serve", "", "serve queries over HTTP on this address (GET/POST /query; admin endpoints ride along)")
+		maxQueue    = flag.Int("max-queue", 0, "with -serve: bound the admission queue; a full queue sheds queries with HTTP 429 (0 = unbounded)")
+		timeout     = flag.Duration("timeout", 0, "with -serve: default per-query deadline for requests that carry none (0 = none)")
 		jsonOut     = flag.Bool("json", false, "emit results as JSON instead of tables")
 		progressive = flag.Bool("progressive", false, "run queries progressively, printing top-k snapshots")
 		quiet       = flag.Bool("quiet", false, "suppress the banner")
@@ -142,6 +145,23 @@ func main() {
 		netout.WithObs(reg, slow))
 
 	switch {
+	case *serveAddr != "":
+		// Serve mode always has metrics: the /query front end and the admin
+		// endpoints share one mux, so a -metrics-addr is optional (set it to
+		// scrape on a separate port; materializer registration is idempotent).
+		if reg == nil {
+			reg = netout.DefaultMetrics()
+			slow = netout.NewSlowLog(16)
+			netout.RegisterProcessMetrics(reg)
+			netout.RegisterMaterializerMetrics(reg, mat)
+		}
+		if err := runServe(g, serveConfig{
+			addr: *serveAddr, workers: *workers, maxQueue: *maxQueue, timeout: *timeout,
+			parallelism: *parallelism, measure: m, combine: comb, mat: mat,
+			reg: reg, slow: slow, quiet: *quiet,
+		}); err != nil {
+			log.Fatal(err)
+		}
 	case *explain != "":
 		if len(queries) != 1 {
 			log.Fatal("-explain needs exactly one query (via -query or -file)")
@@ -305,6 +325,7 @@ func runOne(eng *netout.Engine, src string, timing bool) error {
 // so the two flags compose instead of -json silently dropping -timing.
 type jsonResult struct {
 	Entries        []jsonEntry `json:"entries"`
+	Partial        bool        `json:"partial,omitempty"`
 	Skipped        int         `json:"skipped"`
 	CandidateCount int         `json:"candidates"`
 	ReferenceCount int         `json:"references"`
@@ -340,6 +361,7 @@ type jsonSpan struct {
 func printResult(w io.Writer, res *netout.Result, timing bool) {
 	if jsonResults {
 		jr := jsonResult{
+			Partial:        res.Partial,
 			Skipped:        len(res.Skipped),
 			CandidateCount: res.CandidateCount,
 			ReferenceCount: res.ReferenceCount,
@@ -385,6 +407,9 @@ func printResult(w io.Writer, res *netout.Result, timing bool) {
 var statsMat netout.Materializer
 
 func printResultTable(w io.Writer, res *netout.Result, timing bool) {
+	if res.Partial {
+		fmt.Fprintln(w, "(partial result: the deadline expired mid-query; entries cover the candidates scored so far)")
+	}
 	fmt.Fprintf(w, "%-5s %-12s %s\n", "rank", "score", "name")
 	for i, e := range res.Entries {
 		fmt.Fprintf(w, "%-5d %-12.4f %s\n", i+1, e.Score, e.Name)

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"netout"
+)
+
+// HTTP serve mode (-serve): a ServePool behind a minimal query endpoint,
+// with the admin endpoints (/metrics, /healthz, /debug/slow, /debug/pprof)
+// riding along on the same mux. The status mapping makes the pool's
+// robustness semantics visible to HTTP clients: a shed query is 429 (back
+// off and retry), an expired deadline without a usable partial is 504, a
+// recovered worker panic is 500, and everything else that fails is the
+// client's query (400).
+
+type serveConfig struct {
+	addr        string
+	workers     int
+	maxQueue    int
+	timeout     time.Duration
+	parallelism int
+	measure     netout.Measure
+	combine     netout.Combination
+	mat         netout.Materializer
+	reg         *netout.MetricsRegistry
+	slow        *netout.SlowLog
+	quiet       bool
+}
+
+// runServe starts the pool and blocks serving HTTP on cfg.addr.
+func runServe(g *netout.Graph, cfg serveConfig) error {
+	pool, err := netout.NewServePool(g, netout.ServeOptions{
+		Workers:          cfg.workers,
+		Measure:          cfg.measure,
+		Combination:      cfg.combine,
+		Materializer:     cfg.mat,
+		QueryParallelism: cfg.parallelism,
+		MaxQueue:         cfg.maxQueue,
+		DefaultTimeout:   cfg.timeout,
+		Obs:              cfg.reg,
+		SlowLog:          cfg.slow,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	if !cfg.quiet {
+		fmt.Printf("serving queries on http://%s/query (max-queue %d, timeout %v; admin endpoints on the same address)\n",
+			cfg.addr, cfg.maxQueue, cfg.timeout)
+	}
+	return http.ListenAndServe(cfg.addr, serveHandler(pool, cfg.reg, cfg.slow))
+}
+
+// serveHandler builds the serve-mode HTTP handler around an existing pool
+// (split from runServe so tests can drive it through httptest).
+func serveHandler(pool *netout.ServePool, reg *netout.MetricsRegistry, slow *netout.SlowLog) http.Handler {
+	mux := netout.NewAdminMux(reg, slow)
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		src := r.URL.Query().Get("q")
+		if src == "" && r.Body != nil {
+			b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			src = string(b)
+		}
+		if strings.TrimSpace(src) == "" {
+			http.Error(w, "missing query: pass ?q=... or a request body", http.StatusBadRequest)
+			return
+		}
+		res, err := pool.Execute(r.Context(), src)
+		switch {
+		case errors.Is(err, netout.ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case netout.IsPanicError(err):
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			jr := jsonResult{
+				Partial:        res.Partial,
+				Skipped:        len(res.Skipped),
+				CandidateCount: res.CandidateCount,
+				ReferenceCount: res.ReferenceCount,
+				TotalMicros:    res.Timing.Total.Microseconds(),
+			}
+			for i, e := range res.Entries {
+				jr.Entries = append(jr.Entries, jsonEntry{Rank: i + 1, Name: e.Name, Score: e.Score})
+			}
+			if err := json.NewEncoder(w).Encode(jr); err != nil {
+				fmt.Fprintf(w, "encoding result: %v", err)
+			}
+		}
+	})
+	return mux
+}

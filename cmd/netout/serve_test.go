@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"netout"
+)
+
+// serveTestServer spins up the serve-mode handler over a small generated
+// graph, exactly as `netout -serve` wires it (shared registry between the
+// pool and the admin mux).
+func serveTestServer(t *testing.T) (*httptest.Server, *netout.ServePool) {
+	t.Helper()
+	g := smallGraph(t)
+	reg := netout.NewMetricsRegistry()
+	slow := netout.NewSlowLog(4)
+	pool, err := netout.NewServePool(g, netout.ServeOptions{
+		Workers:        2,
+		MaxQueue:       4,
+		DefaultTimeout: 30 * time.Second,
+		Obs:            reg,
+		SlowLog:        slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	srv := httptest.NewServer(serveHandler(pool, reg, slow))
+	t.Cleanup(srv.Close)
+	return srv, pool
+}
+
+func TestServeHandlerQuery(t *testing.T) {
+	srv, _ := serveTestServer(t)
+	q := `FIND OUTLIERS FROM author{"Christos Hub"}.paper.author JUDGED BY author.paper.venue TOP 3;`
+
+	// Same query via ?q= and via POST body must both serve a full ranking.
+	for _, req := range []func() (*http.Response, error){
+		func() (*http.Response, error) {
+			return http.Get(srv.URL + "/query?q=" + url.QueryEscape(q))
+		},
+		func() (*http.Response, error) {
+			return http.Post(srv.URL+"/query", "text/plain", strings.NewReader(q))
+		},
+	} {
+		resp, err := req()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		var jr jsonResult
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(jr.Entries) == 0 || len(jr.Entries) > 3 {
+			t.Fatalf("entries = %+v, want 1..3 ranked entries", jr.Entries)
+		}
+		if jr.Partial {
+			t.Fatal("unconstrained query reported a partial result")
+		}
+		if jr.CandidateCount == 0 {
+			t.Fatal("CandidateCount missing from response")
+		}
+	}
+}
+
+func TestServeHandlerErrors(t *testing.T) {
+	srv, _ := serveTestServer(t)
+	for name, tc := range map[string]struct {
+		path, body string
+		want       int
+	}{
+		"missing query": {"/query", "", http.StatusBadRequest},
+		"parse error":   {"/query", "FIND NONSENSE;;", http.StatusBadRequest},
+		"bad type":      {"/query", "FIND OUTLIERS FROM nosuchtype JUDGED BY a.b;", http.StatusBadRequest},
+	} {
+		resp, err := http.Post(srv.URL+tc.path, "text/plain", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status = %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// The admin endpoints ride on the serve mux, and the pool's robustness
+// counters are present in the scrape after traffic.
+func TestServeHandlerAdminEndpoints(t *testing.T) {
+	srv, _ := serveTestServer(t)
+	q := `FIND OUTLIERS FROM author{"Christos Hub"}.paper.author JUDGED BY author.paper.venue TOP 3;`
+	resp, err := http.Post(srv.URL+"/query", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(body)
+	for _, metric := range []string{
+		"netout_serve_served_total",
+		"netout_serve_shed_total",
+		"netout_serve_panics_total",
+		"netout_serve_timeouts_total",
+		"netout_serve_partials_total",
+	} {
+		if !strings.Contains(scrape, metric) {
+			t.Fatalf("scrape missing %s:\n%s", metric, scrape)
+		}
+	}
+}

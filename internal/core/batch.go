@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,6 +31,9 @@ import (
 //     (the whole point of the online-discovery strategy in a concurrent
 //     workload). The shared cache is internally synchronized.
 func NewView(m Materializer) (Materializer, error) {
+	if v, ok := m.(viewable); ok {
+		return v.view()
+	}
 	switch v := m.(type) {
 	case *baseline:
 		return NewBaseline(v.tr.Graph()), nil
@@ -43,6 +47,14 @@ func NewView(m Materializer) (Materializer, error) {
 		return &cached{state: v.state}, nil
 	}
 	return nil, fmt.Errorf("core: cannot create a concurrent view of %T", m)
+}
+
+// viewable lets a materializer outside the built-in set supply its own
+// concurrent views. This is the seam the fault-injection harness wraps real
+// materializers through (faultinject_test.go); the built-in strategies use
+// the type switch above.
+type viewable interface {
+	view() (Materializer, error)
 }
 
 // BatchOptions configures ExecuteBatch.
@@ -65,6 +77,11 @@ type BatchOptions struct {
 	// offers itself to SlowLog (see Engine's WithObs).
 	Obs     *obs.Registry
 	SlowLog *obs.SlowLog
+	// Context, if set, cancels the whole batch: dispatch stops at the next
+	// query, in-flight queries abort at per-vertex granularity, and entries
+	// never dispatched report ctx.Err(). nil means the batch runs to
+	// completion.
+	Context context.Context
 }
 
 // BatchResult pairs one query's outcome with its position and any error.
@@ -114,18 +131,42 @@ func ExecuteBatch(g *hin.Graph, queries []string, opts BatchOptions) ([]BatchRes
 	if opts.Obs != nil && opts.Materializer != nil {
 		RegisterMaterializerMetrics(opts.Obs, opts.Materializer)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(eng *Engine) {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := eng.Execute(queries[i])
+				// Panic isolation: a panicking query becomes that entry's
+				// *PanicError and the worker moves on, so one hostile query
+				// neither kills the process nor silently drops the rest of
+				// its worker's share of the batch.
+				var res *Result
+				err := func() (err error) {
+					defer recoverAsError(&err)
+					res, err = eng.ExecuteContext(ctx, queries[i])
+					return err
+				}()
 				results[i] = BatchResult{Index: i, Result: res, Err: err}
 			}
 		}(engines[w])
 	}
+dispatch:
 	for i := range queries {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// The caller is gone: stop feeding workers and mark everything
+			// not yet dispatched. Indices i.. are never sent, so these
+			// writes cannot race a worker's.
+			for j := i; j < len(queries); j++ {
+				results[j] = BatchResult{Index: j, Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()

@@ -161,7 +161,16 @@ type Result struct {
 	Skipped []hin.VertexID
 	// CandidateCount and ReferenceCount are the sizes of Sc and Sr.
 	CandidateCount, ReferenceCount int
-	Timing                         Timing
+	// Partial marks a deadline-degraded result: the query's deadline expired
+	// mid-pipeline under the NetOut measure and the engine returned the
+	// ranking over the candidates scored so far instead of a bare
+	// context.DeadlineExceeded. Scores of the entries present are exact
+	// (NetOut is separable per candidate once the reference side is fixed);
+	// what is missing is the candidates never reached. Entries and Skipped
+	// cover only the processed prefix; CandidateCount still reports the full
+	// |Sc|. Cancellation never degrades — a cancelled caller gets the error.
+	Partial bool
+	Timing  Timing
 	// Trace is the per-phase breakdown (parse → validate → plan →
 	// materialize → score → rank); phases recorded contiguously, so their
 	// durations sum to the trace total. The parse span is present only for
@@ -208,6 +217,14 @@ func (e *Engine) observeQuery(tr *obs.Tracer, q *oql.Query, res *Result, err err
 		if err != nil {
 			outcome = "error"
 		}
+		if IsPanicError(err) {
+			e.obs.Counter("netout_query_panics_total",
+				"Recovered panics converted into query errors.").Inc()
+		}
+		if err == nil && res != nil && res.Partial {
+			e.obs.Counter("netout_query_partial_total",
+				"Queries answered with a deadline-degraded Partial=true result.").Inc()
+		}
 		e.obs.Counter(`netout_queries_total{outcome="`+outcome+`"}`, queriesHelp).Inc()
 		e.obs.Histogram("netout_query_seconds", "Query wall time.", nil).Observe(trace.Total.Seconds())
 		for _, s := range trace.Spans {
@@ -243,6 +260,15 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer) (res *Result, err error) {
 	start := time.Now()
 	defer func() { e.observeQuery(tr, q, res, err) }()
+	// Panic isolation (registered after observeQuery so it runs first and
+	// the observation sees the error): a panic anywhere in execution — the
+	// engine's own phases or a pipeline worker's re-raised chunk failure —
+	// returns a *PanicError instead of unwinding through the serving layers.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError(r)
+		}
+	}()
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -296,11 +322,46 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 	cacheBefore, _ := CacheStatsOf(e.mat)
 	candPerPath := make([][]sparse.Vector, len(q.Features))
 	refPerPath := make([][]sparse.Vector, len(q.Features))
+	candDone := make([]int, len(q.Features))
+	var matErr error
 	for m := range q.Features {
-		candPerPath[m], refPerPath[m], err = e.materializeFeature(ctx, paths[m], cands, refs, &res.Timing)
-		if err != nil {
-			return nil, err
+		candPerPath[m], refPerPath[m], candDone[m], matErr = e.materializeFeature(ctx, paths[m], cands, refs, &res.Timing)
+		if matErr != nil {
+			break
 		}
+	}
+	if matErr != nil {
+		// Graceful degradation: an expired deadline under NetOut returns the
+		// ranking over the prefix of candidates materialized under EVERY
+		// feature (a candidate's score needs all of its Φ vectors; the
+		// feature loop is feature-major, so that prefix is the minimum of
+		// the per-feature progress). Scores over the prefix are exact —
+		// NetOut is separable, so a candidate's arithmetic never reads other
+		// candidates. References are materialized before candidates per
+		// feature; a deadline that strikes during a feature's reference side
+		// leaves that feature without a scorer, so the prefix is empty and
+		// the error stands, as it does for cancellation and real failures.
+		prefix := 0
+		if e.measure == MeasureNetOut && degradable(matErr) {
+			prefix = len(cands)
+			for m := range q.Features {
+				if refPerPath[m] == nil {
+					prefix = 0
+					break
+				}
+				if candDone[m] < prefix {
+					prefix = candDone[m]
+				}
+			}
+		}
+		if prefix == 0 {
+			return nil, matErr
+		}
+		cands = cands[:prefix]
+		for m := range candPerPath {
+			candPerPath[m] = candPerPath[m][:prefix]
+		}
+		res.Partial = true
 	}
 	matDelta := e.mat.Stats().Sub(matBefore)
 	cacheAfter, _ := CacheStatsOf(e.mat)
@@ -376,33 +437,39 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 }
 
 // materializeFeature computes Φ_p for all reference and candidate vertices,
-// charging materializer time to the timing breakdown.
-func (e *Engine) materializeFeature(ctx context.Context, p metapath.Path, cands, refs []hin.VertexID, tm *Timing) (candVecs, refVecs []sparse.Vector, err error) {
+// charging materializer time to the timing breakdown (also on error, so a
+// degraded query's cost accounting covers the work it actually did). done
+// reports how many candidate vectors were completed; on error the returned
+// candVecs hold exactly that prefix, and refVecs are non-nil only if the
+// reference side completed — the inputs deadline degradation needs.
+func (e *Engine) materializeFeature(ctx context.Context, p metapath.Path, cands, refs []hin.VertexID, tm *Timing) (candVecs, refVecs []sparse.Vector, done int, err error) {
 	before := e.mat.Stats()
+	defer func() {
+		d := e.mat.Stats().Sub(before)
+		tm.NotIndexed += d.TraversalTime
+		tm.Indexed += d.IndexedTime
+		tm.TraversedVectors += d.TraversedVectors
+		tm.IndexedVectors += d.IndexedVectors
+	}()
 	refVecs = make([]sparse.Vector, len(refs))
 	for j, v := range refs {
 		if err = ctxErr(ctx); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if refVecs[j], err = e.mat.NeighborVector(p, v); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
 	candVecs = make([]sparse.Vector, len(cands))
 	for i, v := range cands {
 		if err = ctxErr(ctx); err != nil {
-			return nil, nil, err
+			return candVecs[:i], refVecs, i, err
 		}
 		if candVecs[i], err = e.mat.NeighborVector(p, v); err != nil {
-			return nil, nil, err
+			return candVecs[:i], refVecs, i, err
 		}
 	}
-	d := e.mat.Stats().Sub(before)
-	tm.NotIndexed += d.TraversalTime
-	tm.Indexed += d.IndexedTime
-	tm.TraversedVectors += d.TraversedVectors
-	tm.IndexedVectors += d.IndexedVectors
-	return candVecs, refVecs, nil
+	return candVecs, refVecs, len(cands), nil
 }
 
 // CandidateSet parses the query and resolves only its candidate set. Used

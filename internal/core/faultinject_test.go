@@ -1,0 +1,705 @@
+package core
+
+// Fault-injection harness for the serving-robustness layer: deterministic
+// panics, stalls and cancellations injected at the materializer seam (a
+// faultMat wrapping a real materializer via the viewable interface) and at
+// the parallel index builder (pmBuildHook). Every test here must pass under
+// `go test -race -cpu 1,4` — the whole point is proving the isolation,
+// shedding and degradation paths are correct under concurrency, not just on
+// the happy path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/obs"
+	"netout/internal/sparse"
+)
+
+// faultMat wraps a real materializer and calls hook before every load. The
+// hook may panic, stall, cancel a context, or trip a synthetic deadline —
+// the injection point for every pipeline stage, since all of them load
+// vectors through this seam. Views share the same hook, so ServePool
+// workers, batch workers and pipeline chunk workers all inherit the faults.
+type faultMat struct {
+	inner Materializer
+	hook  func(p metapath.Path, v hin.VertexID)
+}
+
+func (f *faultMat) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error) {
+	if f.hook != nil {
+		f.hook(p, v)
+	}
+	return f.inner.NeighborVector(p, v)
+}
+func (f *faultMat) Strategy() Strategy { return f.inner.Strategy() }
+func (f *faultMat) IndexBytes() int64  { return f.inner.IndexBytes() }
+func (f *faultMat) Stats() MatStats    { return f.inner.Stats() }
+
+func (f *faultMat) view() (Materializer, error) {
+	iv, err := NewView(f.inner)
+	if err != nil {
+		return nil, err
+	}
+	return &faultMat{inner: iv, hook: f.hook}, nil
+}
+
+// deadlineAfterCtx reports context.DeadlineExceeded after a fixed number of
+// Err polls, so tests expire a "deadline" at an exact per-vertex check
+// instead of a wall-clock instant — the degradation prefix becomes
+// deterministic and the partial result comparable entry for entry.
+type deadlineAfterCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newDeadlineAfter(polls int64) *deadlineAfterCtx {
+	c := &deadlineAfterCtx{Context: context.Background()}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *deadlineAfterCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+const faultQuery = `FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`
+
+// fireOnce returns a hook that panics with msg on exactly the first load.
+func fireOnce(msg string) func(metapath.Path, hin.VertexID) {
+	var fired atomic.Bool
+	return func(metapath.Path, hin.VertexID) {
+		if fired.CompareAndSwap(false, true) {
+			panic(msg)
+		}
+	}
+}
+
+// The seed's ServePool worker had no recover: a panicking query killed the
+// worker goroutine (crashing the process) and never wrote job.done, so on a
+// background context the caller hung forever. This test hangs/crashes
+// pre-fix; post-fix the caller gets a *PanicError, the pool keeps its full
+// capacity, and the stats/metrics record the panic.
+func TestServePoolWorkerPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			g := randomBibGraph(rand.New(rand.NewSource(7)))
+			fm := &faultMat{inner: NewBaseline(g), hook: fireOnce("injected serve fault")}
+			reg := obs.NewRegistry()
+			pool, err := NewServePool(g, ServeOptions{Workers: workers, Materializer: fm, Obs: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+
+			done := make(chan struct{})
+			var res *Result
+			var execErr error
+			go func() {
+				res, execErr = pool.Execute(context.Background(), faultQuery)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("Execute hung: the worker panic stranded its caller")
+			}
+			if !IsPanicError(execErr) {
+				t.Fatalf("err = %v, want a *PanicError", execErr)
+			}
+			var pe *PanicError
+			if errors.As(execErr, &pe); pe.Stack == "" || pe.Value != "injected serve fault" {
+				t.Fatalf("PanicError not captured faithfully: %+v", pe)
+			}
+			if res != nil {
+				t.Fatalf("res = %+v, want nil alongside a panic error", res)
+			}
+
+			// Capacity intact: the hook fired once, so 2×workers concurrent
+			// queries must all succeed on the surviving workers.
+			errCh := make(chan error, 2*workers)
+			for i := 0; i < 2*workers; i++ {
+				go func() {
+					_, err := pool.Execute(context.Background(), faultQuery)
+					errCh <- err
+				}()
+			}
+			for i := 0; i < 2*workers; i++ {
+				if err := <-errCh; err != nil {
+					t.Fatalf("post-panic query %d: %v", i, err)
+				}
+			}
+			st := pool.Stats()
+			if st.Served != int64(2*workers) || st.Failed != 1 || st.Panics != 1 {
+				t.Fatalf("stats = %+v, want Served=%d Failed=1 Panics=1", st, 2*workers)
+			}
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+			if !strings.Contains(sb.String(), "netout_serve_panics_total 1") {
+				t.Fatalf("scrape missing panic counter:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+// Admission control: with MaxQueue=1 and the single worker stalled, one
+// extra query queues and the next is shed with ErrOverloaded instead of
+// blocking unboundedly.
+func TestServePoolOverloadSheds(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(9)))
+	gate := make(chan struct{})
+	var entered atomic.Int64
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		entered.Add(1)
+		<-gate // stall every load until the gate opens
+	}}
+	reg := obs.NewRegistry()
+	pool, err := NewServePool(g, ServeOptions{Workers: 1, MaxQueue: 1, Materializer: fm, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := pool.Execute(context.Background(), faultQuery)
+		first <- err
+	}()
+	// Wait for the worker to be stalled inside the first query, so the
+	// queue slot is demonstrably free for exactly one of the next two.
+	for deadline := time.Now().Add(5 * time.Second); entered.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reached the stalled load")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	contested := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := pool.Execute(context.Background(), faultQuery)
+			contested <- err
+		}()
+	}
+	// With the worker stalled, exactly one contender buffers and the other
+	// must be shed immediately; only the shed one can report before the
+	// gate opens.
+	select {
+	case err := <-contested:
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("contended Execute: %v, want ErrOverloaded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no query was shed: admission control is not bounding the queue")
+	}
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatalf("stalled query: %v", err)
+	}
+	if err := <-contested; err != nil {
+		t.Fatalf("queued query: %v", err)
+	}
+	st := pool.Stats()
+	if st.Served != 2 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want Served=2 Shed=1", st)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "netout_serve_shed_total 1") {
+		t.Fatalf("scrape missing shed counter:\n%s", sb.String())
+	}
+}
+
+// DefaultTimeout + graceful degradation end to end: a stalled load outlives
+// the pool's default deadline, and the caller still receives a Partial=true
+// result whose entries match the unconstrained run exactly (NetOut scores
+// are separable, so every scored candidate's value is final).
+func TestServePoolDefaultTimeoutPartial(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(11)))
+	full, err := NewEngine(g).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullScore := map[hin.VertexID]float64{}
+	for _, e := range full.Entries {
+		fullScore[e.Vertex] = e.Score
+	}
+	cands, err := NewEngine(g).CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := int64(len(cands))
+
+	// Load 1..nA is the reference side, load nA+1 the first candidate;
+	// stalling load nA+2 past the deadline leaves a non-empty candidate
+	// prefix, which the worker turns into a partial result that the caller
+	// collects within DrainGrace.
+	var loads atomic.Int64
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		if loads.Add(1) == nA+2 {
+			time.Sleep(300 * time.Millisecond)
+		}
+	}}
+	reg := obs.NewRegistry()
+	pool, err := NewServePool(g, ServeOptions{
+		Workers: 1, Materializer: fm, Obs: reg,
+		DefaultTimeout: 60 * time.Millisecond,
+		DrainGrace:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	res, err := pool.Execute(context.Background(), faultQuery)
+	if err != nil {
+		t.Fatalf("Execute: %v, want a degraded partial result", err)
+	}
+	if !res.Partial {
+		t.Fatal("res.Partial = false, want true after the deadline expired mid-query")
+	}
+	if len(res.Entries) == 0 {
+		t.Fatal("partial result has no entries")
+	}
+	for _, e := range res.Entries {
+		want, ok := fullScore[e.Vertex]
+		if !ok {
+			t.Fatalf("partial entry %s not in the full ranking", e.Name)
+		}
+		if e.Score != want {
+			t.Fatalf("partial score for %s = %v, want the full run's %v", e.Name, e.Score, want)
+		}
+	}
+	st := pool.Stats()
+	if st.Partials != 1 || st.Served != 1 || st.Timeouts != 0 {
+		t.Fatalf("stats = %+v, want Served=1 Partials=1 Timeouts=0", st)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "netout_serve_partials_total 1") {
+		t.Fatalf("scrape missing partials counter:\n%s", sb.String())
+	}
+}
+
+// Sequential-path degradation is exact prefix arithmetic: expiring the
+// synthetic deadline at candidate check K must return precisely the full
+// run's entries and skip list restricted to the first K candidates, scores
+// bit-identical.
+func TestSequentialDeadlinePartialPrefix(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(3)))
+	full, err := NewEngine(g).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := NewEngine(g).CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(cands)
+	K := nA / 2
+	if K < 1 {
+		t.Fatalf("graph too small: %d candidates", nA)
+	}
+	// Poll budget: 1 at query start, nA across the reference loop, then K
+	// candidate checks — check K+1 (0-indexed candidate K) trips the
+	// deadline, so exactly K candidates were materialized.
+	ctx := newDeadlineAfter(int64(1 + nA + K))
+	res, err := NewEngine(g).ExecuteContext(ctx, faultQuery)
+	if err != nil {
+		t.Fatalf("ExecuteContext: %v, want a degraded partial result", err)
+	}
+	if !res.Partial {
+		t.Fatal("res.Partial = false, want true")
+	}
+	if res.CandidateCount != nA {
+		t.Fatalf("CandidateCount = %d, want the full |Sc| %d", res.CandidateCount, nA)
+	}
+	inPrefix := map[hin.VertexID]bool{}
+	for _, v := range cands[:K] {
+		inPrefix[v] = true
+	}
+	var wantEntries []Entry
+	for _, e := range full.Entries {
+		if inPrefix[e.Vertex] {
+			wantEntries = append(wantEntries, e)
+		}
+	}
+	var wantSkipped []hin.VertexID
+	for _, v := range full.Skipped {
+		if inPrefix[v] {
+			wantSkipped = append(wantSkipped, v)
+		}
+	}
+	if len(res.Entries) != len(wantEntries) {
+		t.Fatalf("partial entries = %d, want %d (prefix K=%d)", len(res.Entries), len(wantEntries), K)
+	}
+	for i := range wantEntries {
+		if res.Entries[i].Vertex != wantEntries[i].Vertex || res.Entries[i].Score != wantEntries[i].Score {
+			t.Fatalf("entry %d = %+v, want %+v (bit-identical prefix arithmetic)", i, res.Entries[i], wantEntries[i])
+		}
+	}
+	if len(res.Skipped) != len(wantSkipped) {
+		t.Fatalf("partial skipped = %v, want %v", res.Skipped, wantSkipped)
+	}
+	for i := range wantSkipped {
+		if res.Skipped[i] != wantSkipped[i] {
+			t.Fatalf("skipped[%d] = %v, want %v", i, res.Skipped[i], wantSkipped[i])
+		}
+	}
+}
+
+// A cancelled context must NOT degrade: the caller is gone, and converting
+// cancellation into a partial answer would break the pipeline cancellation
+// contract.
+func TestSequentialCancellationDoesNotDegrade(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(3)))
+	cands, _ := NewEngine(g).CandidateSet(faultQuery)
+	ctx, cancel := context.WithCancel(context.Background())
+	var loads atomic.Int64
+	nA := int64(len(cands))
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		if loads.Add(1) == nA+2 { // mid-candidate-phase, where degradation COULD apply
+			cancel()
+		}
+	}}
+	res, err := NewEngine(g, WithMaterializer(fm)).ExecuteContext(ctx, faultQuery)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// Pipeline degradation: with 4 workers over >128 candidates, an expired
+// deadline mid-candidate-phase yields a partial result covering exactly the
+// completed chunks, every score bit-identical to the full run.
+func TestPipelineDeadlinePartial(t *testing.T) {
+	g := bigBibGraph(rand.New(rand.NewSource(11)))
+	full, err := NewEngine(g, WithQueryParallelism(4)).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullScore := map[hin.VertexID]float64{}
+	for _, e := range full.Entries {
+		fullScore[e.Vertex] = e.Score
+	}
+	fullSkipped := map[hin.VertexID]bool{}
+	for _, v := range full.Skipped {
+		fullSkipped[v] = true
+	}
+	cands, err := NewEngine(g).CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(cands)
+	reg := obs.NewRegistry()
+	eng := NewEngine(g, WithQueryParallelism(4), WithObs(reg, nil))
+	// Poll budget: 1 at query start + nA reference checks + nA-1 candidate
+	// checks. Exactly one candidate poll (the chronologically last of the nA
+	// issued) trips the deadline, so exactly one chunk fails and every other
+	// chunk is deterministically complete — for any worker schedule. With
+	// 280+ candidates and parallelChunk=128 there are ≥3 chunks, so the
+	// partial result is a non-empty strict subset.
+	ctx := newDeadlineAfter(int64(2 * nA))
+	res, err := eng.ExecuteContext(ctx, faultQuery)
+	if err != nil {
+		t.Fatalf("ExecuteContext: %v, want a degraded partial result", err)
+	}
+	if !res.Partial {
+		t.Fatal("res.Partial = false, want true")
+	}
+	covered := len(res.Entries) + len(res.Skipped)
+	if covered == 0 || covered >= nA {
+		t.Fatalf("partial covers %d of %d candidates, want a strict non-empty prefix subset", covered, nA)
+	}
+	for _, e := range res.Entries {
+		want, ok := fullScore[e.Vertex]
+		if !ok || e.Score != want {
+			t.Fatalf("partial entry %s score %v, want full run's %v (present %v)", e.Name, e.Score, want, ok)
+		}
+	}
+	for _, v := range res.Skipped {
+		if !fullSkipped[v] {
+			t.Fatalf("partial skipped %v not skipped in the full run", v)
+		}
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "netout_query_partial_total 1") {
+		t.Fatalf("scrape missing partial counter:\n%s", sb.String())
+	}
+	// The engine is reusable after degradation.
+	again, err := eng.Execute(faultQuery)
+	if err != nil || !resultsEqual(again, full) {
+		t.Fatalf("post-degradation query: err=%v, equal=%v", err, err == nil && resultsEqual(again, full))
+	}
+}
+
+// Panic isolation inside query execution: a panicking load becomes a
+// *PanicError for both the sequential path (parallelism 1) and the chunked
+// pipeline (parallelism 4, where the panic starts on a worker goroutine),
+// and the engine keeps answering afterwards.
+func TestQueryPanicIsolation(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			g := bigBibGraph(rand.New(rand.NewSource(13)))
+			fm := &faultMat{inner: NewBaseline(g), hook: fireOnce("injected query fault")}
+			reg := obs.NewRegistry()
+			eng := NewEngine(g, WithMaterializer(fm), WithQueryParallelism(par), WithObs(reg, nil))
+			res, err := eng.Execute(faultQuery)
+			if !IsPanicError(err) || res != nil {
+				t.Fatalf("got (%v, %v), want (nil, *PanicError)", res, err)
+			}
+			var sb strings.Builder
+			reg.WritePrometheus(&sb)
+			if !strings.Contains(sb.String(), "netout_query_panics_total 1") {
+				t.Fatalf("scrape missing query panic counter:\n%s", sb.String())
+			}
+			// Disarmed (fireOnce), the engine answers and matches a clean one.
+			want, err := NewEngine(g, WithQueryParallelism(par)).Execute(faultQuery)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Execute(faultQuery)
+			if err != nil || !resultsEqual(got, want) {
+				t.Fatalf("post-panic query: err=%v, matches clean engine=%v", err, err == nil && resultsEqual(got, want))
+			}
+		})
+	}
+}
+
+// Batch cancellation: cancelling BatchOptions.Context stops dispatch,
+// aborts in-flight queries at per-vertex granularity, and marks
+// undispatched entries — nothing hangs and every entry is accounted for.
+func TestBatchCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			g := randomBibGraph(rand.New(rand.NewSource(17)))
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var loads atomic.Int64
+			fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+				if loads.Add(1) == 3 { // no query can have finished yet
+					cancel()
+				}
+			}}
+			queries := make([]string, 6)
+			for i := range queries {
+				queries[i] = faultQuery
+			}
+			results, err := ExecuteBatch(g, queries, BatchOptions{
+				Workers: workers, Materializer: fm, Context: ctx,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != len(queries) {
+				t.Fatalf("got %d results, want %d", len(results), len(queries))
+			}
+			for i, br := range results {
+				if !errors.Is(br.Err, context.Canceled) {
+					t.Fatalf("entry %d: err = %v, want context.Canceled (cancel fired before any query could finish)", i, br.Err)
+				}
+			}
+		})
+	}
+}
+
+// Batch panic isolation: one poisoned query yields one *PanicError entry;
+// the worker survives and every other query in the batch still succeeds.
+func TestBatchPanicEntry(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			g := randomBibGraph(rand.New(rand.NewSource(19)))
+			fm := &faultMat{inner: NewBaseline(g), hook: fireOnce("injected batch fault")}
+			queries := make([]string, 6)
+			for i := range queries {
+				queries[i] = faultQuery
+			}
+			results, err := ExecuteBatch(g, queries, BatchOptions{Workers: workers, Materializer: fm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			panics := 0
+			for i, br := range results {
+				switch {
+				case IsPanicError(br.Err):
+					panics++
+				case br.Err != nil:
+					t.Fatalf("entry %d: unexpected error %v", i, br.Err)
+				case br.Result == nil || len(br.Result.Entries) == 0:
+					t.Fatalf("entry %d: empty result", i)
+				}
+			}
+			if panics != 1 {
+				t.Fatalf("got %d panic entries, want exactly 1", panics)
+			}
+		})
+	}
+}
+
+// Progressive execution: cancellation aborts, and an expired deadline after
+// at least one snapshot degrades to exactly the last chunk boundary's
+// estimates, bit-identical to an OnSnapshot-stopped control run.
+func TestProgressiveCancelAndDeadlinePartial(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(23)))
+	eng := NewEngine(g)
+	popts := ProgressiveOptions{ChunkSize: 2}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := eng.ExecuteProgressiveContext(cancelled, faultQuery, popts); !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("cancelled: got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+
+	cands, err := eng.CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(cands)
+	if nA < 7 {
+		t.Fatalf("graph too small: %d refs", nA)
+	}
+	// Poll budget: nA candidate-materialization checks, then one check per
+	// reference vertex; 5 more polls fail at reference index 5, i.e. inside
+	// the third chunk of size 2 — the last sealed snapshot is processed=4.
+	ctx := newDeadlineAfter(int64(nA + 5))
+	res, err := eng.ExecuteProgressiveContext(ctx, faultQuery, popts)
+	if err != nil {
+		t.Fatalf("deadline: %v, want a degraded partial result", err)
+	}
+	if !res.Partial {
+		t.Fatal("res.Partial = false, want true")
+	}
+
+	// Control: same chunking stopped via OnSnapshot at the same boundary.
+	control, err := eng.ExecuteProgressive(faultQuery, ProgressiveOptions{
+		ChunkSize:  2,
+		OnSnapshot: func(s ProgressiveSnapshot) bool { return s.ProcessedRefs < 4 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !control.Partial {
+		t.Fatal("control.Partial = false, want true for an OnSnapshot early stop")
+	}
+	if len(res.Entries) != len(control.Entries) {
+		t.Fatalf("degraded entries = %d, control = %d", len(res.Entries), len(control.Entries))
+	}
+	for i := range control.Entries {
+		if res.Entries[i].Vertex != control.Entries[i].Vertex || res.Entries[i].Score != control.Entries[i].Score {
+			t.Fatalf("entry %d = %+v, want control's %+v", i, res.Entries[i], control.Entries[i])
+		}
+	}
+
+	// A full progressive run is exact and not partial.
+	fullProg, err := eng.ExecuteProgressive(faultQuery, ProgressiveOptions{ChunkSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullProg.Partial {
+		t.Fatal("full progressive run marked Partial")
+	}
+}
+
+// The parallel index builder: a panic in a build worker no longer kills the
+// process from an unrecoverable goroutine; it is re-raised as a *PanicError
+// in the caller's goroutine after all workers join, where it CAN be
+// recovered — and a clean rebuild works.
+func TestNewPMParallelPanicRecovered(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(29)))
+	var fired atomic.Bool
+	pmBuildHook = func(metapath.Path, hin.VertexID) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected build fault")
+		}
+	}
+	defer func() { pmBuildHook = nil }()
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected NewPMParallel to re-raise the build failure")
+			}
+			pe, ok := r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+			}
+			if pe.Value != "injected build fault" || pe.Stack == "" {
+				t.Fatalf("PanicError not captured faithfully: %+v", pe)
+			}
+		}()
+		NewPMParallel(g, 4)
+	}()
+
+	// Disarmed, the parallel build completes and answers like the baseline.
+	pm := NewPMParallel(g, 4)
+	want, err := NewEngine(g).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEngine(g, WithMaterializer(pm)).Execute(faultQuery)
+	if err != nil || !resultsEqual(got, want) {
+		t.Fatalf("rebuilt PM: err=%v, matches baseline=%v", err, err == nil && resultsEqual(got, want))
+	}
+}
+
+// Materializer metric registration is idempotent per (registry,
+// materializer): a ServePool and repeated ExecuteBatch invocations sharing
+// one registry — the cmd/netout wiring — register the collectors once, and
+// the scrape stays single-valued and live.
+func TestRegisterMaterializerMetricsIdempotent(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(31)))
+	mat, err := NewCached(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	for i := 0; i < 2; i++ { // the call-twice regression for ExecuteBatch
+		if _, err := ExecuteBatch(g, []string{faultQuery}, BatchOptions{
+			Workers: 2, Materializer: mat, Obs: reg,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool, err := NewServePool(g, ServeOptions{Workers: 2, Materializer: mat, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Execute(context.Background(), faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	scrape := sb.String()
+	for _, family := range []string{"netout_index_bytes", "netout_cache_hits_total"} {
+		samples := 0
+		for _, line := range strings.Split(scrape, "\n") {
+			if strings.HasPrefix(line, family+" ") {
+				samples++
+			}
+		}
+		if samples != 1 {
+			t.Fatalf("%s has %d sample lines, want 1:\n%s", family, samples, scrape)
+		}
+	}
+	// The surviving collector still reads the live shared counters.
+	cs, ok := CacheStatsOf(mat)
+	if !ok || cs.Hits == 0 {
+		t.Fatalf("cache stats not live: %+v (ok=%v)", cs, ok)
+	}
+	if !strings.Contains(scrape, fmt.Sprintf("netout_cache_hits_total %d", cs.Hits)) {
+		t.Fatalf("scrape does not match live CacheStats (%d hits):\n%s", cs.Hits, scrape)
+	}
+}

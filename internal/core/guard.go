@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Panic isolation for the serving layers. A production pool serving analyst
+// traffic cannot let one hostile query take the process down — or, more
+// subtly, strand its caller: a ServePool worker that panics before writing
+// job.done leaves the caller blocked forever on a background context, and a
+// dead worker silently shrinks pool capacity for everyone else. Every worker
+// goroutine (ServePool workers, ExecuteBatch workers, pipeline chunk
+// workers, parallel index builders) therefore converts panics into
+// *PanicError replies at its unit-of-work boundary and keeps running.
+
+// PanicError is a panic recovered by a serving-layer worker and converted
+// into a per-query (or per-chunk) error. Value is the original panic value;
+// Stack is the goroutine stack captured at the recovery point, preserved so
+// the bug stays debuggable after isolation.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: recovered panic: %v", e.Value)
+}
+
+func newPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe // re-raised: keep the stack from the original panic site
+	}
+	return &PanicError{Value: v, Stack: string(debug.Stack())}
+}
+
+// IsPanicError reports whether err wraps a recovered worker panic.
+func IsPanicError(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// recoverAsError converts an in-flight panic into a *PanicError assigned to
+// *errp. Use as `defer recoverAsError(&err)` at the top of a worker's unit
+// of work; the worker then replies with the error like any other failure and
+// stays alive for the next job.
+func recoverAsError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = newPanicError(r)
+	}
+}
+
+// degradable reports whether a mid-execution error is an expired deadline
+// that graceful degradation may convert into a partial result. Cancellation
+// is deliberately excluded: a cancelled caller is gone and wants no answer,
+// partial or otherwise.
+func degradable(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"netout/internal/obs"
 )
 
@@ -28,7 +30,15 @@ import (
 // are shared atomics, safe to read from the scrape goroutine. Baseline and
 // PM/SPM carry unsynchronized per-view stats, so for those only the index
 // size — immutable after construction — is exposed.
+//
+// Registration is idempotent per (registry, materializer): a ServePool and
+// an ExecuteBatch sharing one registry and one materializer (as cmd/netout
+// wires them) register the collectors once, instead of double-registering on
+// every batch invocation.
 func RegisterMaterializerMetrics(reg *obs.Registry, m Materializer) {
+	if !reg.Once(fmt.Sprintf("core:materializer-metrics:%T:%p", m, m)) {
+		return
+	}
 	reg.GaugeFunc("netout_index_bytes", "In-memory size of the pre-materialized index or cache.",
 		func() float64 { return float64(m.IndexBytes()) })
 	c, ok := m.(*cached)

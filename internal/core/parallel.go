@@ -9,12 +9,25 @@ import (
 	"netout/internal/sparse"
 )
 
+// pmBuildHook, when non-nil, observes every (path, vertex) the parallel
+// builder is about to materialize. It is the fault-injection seam of the
+// robustness tests (the hook may panic or stall); it is nil in production
+// and consulted only from buildPMChunk.
+var pmBuildHook func(p metapath.Path, v hin.VertexID)
+
 // NewPMParallel builds the full PM index using a worker pool: the
 // per-vertex Φ computations of a length-2 path are independent, so index
 // construction parallelizes embarrassingly. workers <= 0 uses GOMAXPROCS.
 // The resulting materializer is identical to NewPM's — including its
 // concurrency contract: only the build is parallel; to query the index
 // from several goroutines, give each worker a NewView.
+//
+// Panic containment: a panic while building a chunk no longer escapes a
+// worker goroutine (which would kill the process unrecoverably). The worker
+// converts it into a chunk failure and keeps draining; after every worker
+// has joined, the first failure is re-raised as a *PanicError panic in the
+// caller's goroutine, where the caller CAN recover it — and no builder
+// goroutine is leaked behind the unwinding stack.
 func NewPMParallel(g *hin.Graph, workers int) Materializer {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,11 +39,6 @@ func NewPMParallel(g *hin.Graph, workers int) Materializer {
 		path metapath.Path
 		lo   int
 		hi   int
-	}
-	type chunkResult struct {
-		path metapath.Path
-		lo   int
-		vecs []sparse.Vector
 	}
 
 	const chunkSize = 1024
@@ -47,7 +55,9 @@ func NewPMParallel(g *hin.Graph, workers int) Materializer {
 	}
 
 	jobCh := make(chan job)
-	resCh := make(chan chunkResult, workers)
+	resCh := make(chan pmChunkResult, workers)
+	var errOnce sync.Once
+	var buildErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -55,17 +65,12 @@ func NewPMParallel(g *hin.Graph, workers int) Materializer {
 			defer wg.Done()
 			tr := metapath.NewTraverser(g)
 			for jb := range jobCh {
-				src := g.VerticesOfType(jb.path.Source())
-				vecs := make([]sparse.Vector, jb.hi-jb.lo)
-				for i := jb.lo; i < jb.hi; i++ {
-					vec, err := tr.NeighborVector(jb.path, src[i])
-					if err != nil {
-						// Unreachable: sources enumerate the path's source type.
-						panic(err)
-					}
-					vecs[i-jb.lo] = vec
+				cr, err := buildPMChunk(tr, g, jb.path, jb.lo, jb.hi)
+				if err != nil {
+					errOnce.Do(func() { buildErr = err })
+					continue
 				}
-				resCh <- chunkResult{jb.path, jb.lo, vecs}
+				resCh <- cr
 			}
 		}()
 	}
@@ -83,5 +88,36 @@ func NewPMParallel(g *hin.Graph, workers int) Materializer {
 			ix.put(cr.path, src[cr.lo+i], vec)
 		}
 	}
+	// resCh is closed only after wg.Wait, so by here every worker has
+	// joined and buildErr is stable.
+	if buildErr != nil {
+		panic(buildErr)
+	}
 	return &indexedMaterializer{tr: metapath.NewTraverser(g), ix: ix, strategy: StrategyPM}
+}
+
+type pmChunkResult struct {
+	path metapath.Path
+	lo   int
+	vecs []sparse.Vector
+}
+
+// buildPMChunk materializes one chunk of a path's source vertices,
+// converting a panic (or the nominally unreachable traversal error —
+// sources enumerate the path's source type) into a chunk error.
+func buildPMChunk(tr *metapath.Traverser, g *hin.Graph, p metapath.Path, lo, hi int) (cr pmChunkResult, err error) {
+	defer recoverAsError(&err)
+	src := g.VerticesOfType(p.Source())
+	vecs := make([]sparse.Vector, hi-lo)
+	for i := lo; i < hi; i++ {
+		if pmBuildHook != nil {
+			pmBuildHook(p, src[i])
+		}
+		vec, err := tr.NeighborVector(p, src[i])
+		if err != nil {
+			return pmChunkResult{}, err
+		}
+		vecs[i-lo] = vec
+	}
+	return pmChunkResult{p, lo, vecs}, nil
 }

@@ -114,6 +114,10 @@ func (e *Engine) releaseWorkers(ws []*pipeWorker) {
 // shared slots inside its own [lo, hi) — chunk ranges are disjoint, so such
 // writes never race. On error the other workers stop at their next chunk
 // boundary; the first failing worker's error (by worker index) is returned.
+// A panicking fn is recovered into a *PanicError chunk failure: the panic
+// never crosses the goroutine boundary (which would kill the process — a
+// worker goroutine's panic is unrecoverable by the query's caller), and
+// runChunks still joins every worker before returning.
 func runChunks(ws []*pipeWorker, n int, fn func(w *pipeWorker, lo, hi int) error) error {
 	nChunks := (n + parallelChunk - 1) / parallelChunk
 	var cursor atomic.Int64
@@ -130,7 +134,11 @@ func runChunks(ws []*pipeWorker, n int, fn func(w *pipeWorker, lo, hi int) error
 					return
 				}
 				hi := min((c+1)*parallelChunk, n)
-				if err := fn(w, c*parallelChunk, hi); err != nil {
+				err := func() (err error) {
+					defer recoverAsError(&err)
+					return fn(w, c*parallelChunk, hi)
+				}()
+				if err != nil {
 					errs[wi] = err
 					failed.Store(true)
 					return
@@ -218,6 +226,13 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 			w.ok = make([]bool, parallelChunk)
 		}
 	}
+	// chunkDone marks fully materialized-and-scored chunks. Each slot is
+	// written only by the worker owning that chunk and read after runChunks
+	// joins, so there is no race. It exists for graceful degradation: when a
+	// deadline expires mid-phase, the done chunks carry exact scores (NetOut
+	// is separable per candidate) and form the partial result.
+	nChunks := (len(cands) + parallelChunk - 1) / parallelChunk
+	chunkDone := make([]bool, nChunks)
 	err = runChunks(ws, len(cands), func(w *pipeWorker, lo, hi int) error {
 		for m := range paths {
 			buf := w.vecs[m][:0]
@@ -236,10 +251,17 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 		start := time.Now()
 		w.scoreChunk(e, plan, concatRS, pathRS, stride, seen, lo, hi)
 		w.scoreNs += time.Since(start).Nanoseconds()
+		chunkDone[lo/parallelChunk] = true
 		return nil
 	})
 	if err != nil {
-		return err
+		if e.measure != MeasureNetOut || !degradable(err) {
+			return err
+		}
+		// Deadline-bounded degradation: keep the chunks that finished. A
+		// failed chunk never reached scoreChunk, so the selectors and seen
+		// hold exactly the done chunks' candidates.
+		res.Partial = true
 	}
 
 	var d MatStats
@@ -271,7 +293,10 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 		sel.merge(w.sel)
 	}
 	for i, v := range cands {
-		if !seen[i] {
+		// Skipped means "characterized by no feature path", a judgment only
+		// possible for candidates in chunks that actually ran; on a partial
+		// result the unreached chunks' candidates are simply absent.
+		if chunkDone[i/parallelChunk] && !seen[i] {
 			res.Skipped = append(res.Skipped, v)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -115,17 +116,34 @@ func StopWhenStable(k, rounds int, inner func(ProgressiveSnapshot) bool) func(Pr
 // also reduce to a single separable sum.
 //
 // The returned result's entries come from the last snapshot taken; they are
-// exact if processing was not stopped early.
+// exact if processing was not stopped early (Result.Partial marks results
+// built from a non-final snapshot).
 func (e *Engine) ExecuteProgressive(src string, opts ProgressiveOptions) (*Result, error) {
+	return e.ExecuteProgressiveContext(context.Background(), src, opts)
+}
+
+// ExecuteProgressiveContext is ExecuteProgressive with cancellation, checked
+// at per-vertex granularity like the engine's other executors. A deadline
+// that expires after at least one snapshot degrades gracefully: the last
+// snapshot's estimates are returned with Result.Partial=true (the
+// progressive estimator exists precisely to have a usable answer at every
+// prefix); cancellation and pre-snapshot deadlines return the context error.
+func (e *Engine) ExecuteProgressiveContext(ctx context.Context, src string, opts ProgressiveOptions) (*Result, error) {
 	q, err := oql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQueryProgressive(q, opts)
+	return e.ExecuteQueryProgressiveContext(ctx, q, opts)
 }
 
 // ExecuteQueryProgressive is ExecuteProgressive for a parsed query.
 func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) (*Result, error) {
+	return e.ExecuteQueryProgressiveContext(context.Background(), q, opts)
+}
+
+// ExecuteQueryProgressiveContext is ExecuteProgressiveContext for a parsed
+// query.
+func (e *Engine) ExecuteQueryProgressiveContext(ctx context.Context, q *oql.Query, opts ProgressiveOptions) (*Result, error) {
 	if e.measure != MeasureNetOut {
 		return nil, fmt.Errorf("core: progressive execution supports the NetOut measure only (engine uses %s)", e.measure)
 	}
@@ -138,13 +156,13 @@ func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) 
 	}
 
 	setStart := time.Now()
-	cands, err := e.EvalSet(q.From)
+	cands, err := e.EvalSetContext(ctx, q.From)
 	if err != nil {
 		return nil, err
 	}
 	refs := cands
 	if q.ComparedTo != nil {
-		refs, err = e.EvalSet(q.ComparedTo)
+		refs, err = e.EvalSetContext(ctx, q.ComparedTo)
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +200,11 @@ func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) 
 	candVecs := make([]sparse.Vector, len(cands))
 	visibility := make([]float64, len(cands))
 	for i, v := range cands {
+		// No degradation here: without every candidate's Φ there are no
+		// estimates at all, so a context error is a hard stop.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if candVecs[i], err = combinedVec(v); err != nil {
 			return nil, err
 		}
@@ -258,6 +281,7 @@ func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) 
 		return true
 	}
 
+sample:
 	for processed < n {
 		chunkEnd := processed + opts.ChunkSize
 		if chunkEnd > n {
@@ -268,6 +292,17 @@ func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) 
 		// Progressive mode therefore pays the O(|Sr|·|Sc|) pairwise cost
 		// that Equation (1) avoids — the price of confidence intervals.
 		for _, j := range order[processed:chunkEnd] {
+			if err := ctxErr(ctx); err != nil {
+				if degradable(err) && processed > 0 {
+					// Graceful degradation: the estimates at the last chunk
+					// boundary are already an unbiased answer — return them
+					// flagged Partial instead of the bare deadline error.
+					// The in-flight chunk's partialSum contributions are
+					// harmless: lastSnapshot was sealed before them.
+					break sample
+				}
+				return nil, err
+			}
 			refVec, err := combinedVec(refs[j])
 			if err != nil {
 				return nil, err
@@ -291,6 +326,10 @@ func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) 
 	for i, est := range lastSnapshot.TopK {
 		res.Entries[i] = Entry{Vertex: est.Vertex, Name: est.Name, Score: est.Score}
 	}
+	// An early stop — deadline degradation above or OnSnapshot returning
+	// false — leaves the estimates inexact; surface that the same way the
+	// deadline-degraded engine paths do.
+	res.Partial = processed < n
 	res.Timing.Total = time.Since(start)
 	return res, nil
 }

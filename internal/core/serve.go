@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,12 @@ import (
 	"netout/internal/hin"
 	"netout/internal/obs"
 )
+
+// ErrOverloaded is returned by ServePool.Execute when admission control is
+// on (ServeOptions.MaxQueue > 0) and the queue is full: the pool sheds the
+// query immediately instead of queueing unboundedly. Callers should treat it
+// as retryable back-pressure (HTTP 429, not 500).
+var ErrOverloaded = errors.New("core: serve pool overloaded")
 
 // ServePool is the serving front door for heavy query traffic: a bounded
 // pool of workers, each with its own engine, all sharing one materializer
@@ -26,10 +33,18 @@ type ServePool struct {
 	jobs   chan serveJob
 	wg     sync.WaitGroup
 
+	maxQueue int           // admission control: queue bound (0 = unbounded)
+	timeout  time.Duration // default per-query deadline (0 = none)
+	grace    time.Duration // post-deadline wait for a degraded reply
+
 	served    atomic.Int64
 	failed    atomic.Int64
 	queueNs   atomic.Int64
 	executeNs atomic.Int64
+	shed      atomic.Int64
+	panics    atomic.Int64
+	timeouts  atomic.Int64
+	partials  atomic.Int64
 }
 
 // ServeOptions configures NewServePool.
@@ -51,11 +66,31 @@ type ServeOptions struct {
 	// for pools sized below the core count that still see huge single
 	// queries.
 	QueryParallelism int
-	// Obs, if set, receives the pool's metrics: served/failed totals and
-	// cumulative queue-wait/execute seconds (read from the same atomics
-	// Stats reports, so a scrape matches ServeStats exactly), the shared
-	// materializer's instruments, and every worker engine's per-query
-	// latency histograms.
+	// MaxQueue, when positive, turns on admission control: at most MaxQueue
+	// queries may be queued waiting for a worker, and further Execute calls
+	// fail fast with ErrOverloaded instead of blocking unboundedly. 0 (the
+	// default) keeps the pre-admission behavior: Execute blocks until a
+	// worker is free or the context ends.
+	MaxQueue int
+	// DefaultTimeout, when positive, is the per-query deadline applied to
+	// Execute calls whose context carries no deadline of its own. A caller
+	// deadline always wins; DefaultTimeout is the pool's backstop against
+	// runaway queries from callers that never set one.
+	DefaultTimeout time.Duration
+	// DrainGrace bounds how long Execute waits, after a query's deadline
+	// expires, for the worker's own reply — which under the NetOut measure
+	// is a Partial=true result covering the work done so far (see
+	// Result.Partial). The worker observes the same expired deadline at its
+	// next per-vertex check, so the reply normally arrives promptly; the
+	// bound keeps a stalled materializer from stranding the caller. Default
+	// 250ms; negative disables the wait (expired deadlines return
+	// context.DeadlineExceeded immediately, as before).
+	DrainGrace time.Duration
+	// Obs, if set, receives the pool's metrics: served/failed totals,
+	// shed/panic/timeout/partial counters, and cumulative
+	// queue-wait/execute seconds (read from the same atomics Stats reports,
+	// so a scrape matches ServeStats exactly), the shared materializer's
+	// instruments, and every worker engine's per-query latency histograms.
 	Obs *obs.Registry
 	// SlowLog, if set, retains the pool's slowest queries with their traces.
 	SlowLog *obs.SlowLog
@@ -70,6 +105,16 @@ type ServeStats struct {
 	// Execute is total time spent executing. MeanQueueWait and MeanExecute
 	// report the per-query means.
 	QueueWait, Execute time.Duration
+	// Shed counts queries rejected with ErrOverloaded by admission control
+	// (they never reached a worker and are in neither Served nor Failed).
+	Shed int64
+	// Panics counts worker panics recovered and converted into query errors
+	// (each is also counted in Failed).
+	Panics int64
+	// Timeouts counts queries a worker completed with an expired deadline
+	// (counted in Failed); Partials counts deadline-degraded queries that
+	// still produced a Partial=true result (counted in Served).
+	Timeouts, Partials int64
 }
 
 // MeanQueueWait returns the mean time a query waited for a free worker,
@@ -132,7 +177,22 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 			WithQueryParallelism(queryPar),
 			WithObs(opts.Obs, opts.SlowLog))
 	}
-	p := &ServePool{jobs: make(chan serveJob)}
+	maxQueue := opts.MaxQueue
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	grace := opts.DrainGrace
+	if grace == 0 {
+		grace = 250 * time.Millisecond
+	}
+	p := &ServePool{
+		// The queue buffer IS the admission bound: with MaxQueue set, a send
+		// that cannot buffer means MaxQueue queries are already waiting.
+		jobs:     make(chan serveJob, maxQueue),
+		maxQueue: maxQueue,
+		timeout:  opts.DefaultTimeout,
+		grace:    grace,
+	}
 	if opts.Obs != nil {
 		p.registerMetrics(opts.Obs, workers)
 		if opts.Materializer != nil {
@@ -144,48 +204,112 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 		go func(eng *Engine) {
 			defer p.wg.Done()
 			for job := range p.jobs {
-				p.queueNs.Add(time.Since(job.enqueued).Nanoseconds())
-				start := time.Now()
-				res, err := eng.ExecuteContext(job.ctx, job.src)
-				p.executeNs.Add(time.Since(start).Nanoseconds())
-				if err != nil {
-					p.failed.Add(1)
-				} else {
-					p.served.Add(1)
-				}
-				job.done <- serveDone{res: res, err: err}
+				p.serveJob(eng, job)
 			}
 		}(eng)
 	}
 	return p, nil
 }
 
+// serveJob runs one query on a worker's engine, isolating panics: the reply
+// channel is ALWAYS written (a panic would otherwise strand the caller
+// forever on a background context) and the worker survives to take the next
+// job, so one hostile query cannot shrink pool capacity.
+func (p *ServePool) serveJob(eng *Engine, job serveJob) {
+	p.queueNs.Add(time.Since(job.enqueued).Nanoseconds())
+	start := time.Now()
+	var res *Result
+	err := func() (err error) {
+		defer recoverAsError(&err)
+		res, err = eng.ExecuteContext(job.ctx, job.src)
+		return err
+	}()
+	p.executeNs.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		res = nil
+		p.failed.Add(1)
+		if IsPanicError(err) {
+			p.panics.Add(1)
+		}
+		if degradable(err) {
+			p.timeouts.Add(1)
+		}
+	} else {
+		p.served.Add(1)
+		if res != nil && res.Partial {
+			p.partials.Add(1)
+		}
+	}
+	job.done <- serveDone{res: res, err: err}
+}
+
 // Execute runs one query on the pool, blocking until a worker is free and
 // the query completes. It is safe to call from any number of goroutines.
 // The context bounds both the wait for a worker and the execution itself;
 // a query abandoned after dispatch still aborts promptly, because the
-// worker checks the context at per-vertex granularity.
+// worker checks the context at per-vertex granularity. When the pool has a
+// DefaultTimeout and ctx carries no deadline, the timeout is applied here;
+// with MaxQueue set, a full queue fails fast with ErrOverloaded.
 func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if p.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.timeout)
+			defer cancel()
+		}
 	}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
 		return nil, fmt.Errorf("core: ServePool is closed")
 	}
+	if err := ctxErr(ctx); err != nil {
+		p.mu.RUnlock()
+		return nil, err
+	}
 	job := serveJob{ctx: ctx, src: src, enqueued: time.Now(), done: make(chan serveDone, 1)}
-	select {
-	case p.jobs <- job:
-		p.mu.RUnlock()
-	case <-ctx.Done():
-		p.mu.RUnlock()
-		return nil, ctx.Err()
+	if p.maxQueue > 0 {
+		// Admission control: never block on the queue. A send that cannot
+		// complete immediately means the buffer already holds MaxQueue
+		// waiting queries — shed this one.
+		select {
+		case p.jobs <- job:
+			p.mu.RUnlock()
+		default:
+			p.mu.RUnlock()
+			p.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+	} else {
+		select {
+		case p.jobs <- job:
+			p.mu.RUnlock()
+		case <-ctx.Done():
+			p.mu.RUnlock()
+			return nil, ctx.Err()
+		}
 	}
 	select {
 	case d := <-job.done:
 		return d.res, d.err
 	case <-ctx.Done():
+		if degradable(ctx.Err()) && p.grace > 0 {
+			// The worker observes this same expired deadline at its next
+			// per-vertex check and replies promptly — under NetOut with a
+			// Partial=true result covering the candidates scored so far.
+			// Wait briefly for that reply instead of discarding it; the
+			// bound keeps a stalled materializer from stranding us.
+			t := time.NewTimer(p.grace)
+			defer t.Stop()
+			select {
+			case d := <-job.done:
+				return d.res, d.err
+			case <-t.C:
+			}
+		}
 		// The worker aborts via the same context; its result is discarded
 		// into the buffered done channel.
 		return nil, ctx.Err()
@@ -205,6 +329,14 @@ func (p *ServePool) registerMetrics(reg *obs.Registry, workers int) {
 		func() float64 { return float64(p.queueNs.Load()) / 1e9 })
 	reg.CounterFunc("netout_serve_execute_seconds_total", "Total seconds workers spent executing queries.",
 		func() float64 { return float64(p.executeNs.Load()) / 1e9 })
+	reg.CounterFunc("netout_serve_shed_total", "Queries rejected with ErrOverloaded by admission control.",
+		func() float64 { return float64(p.shed.Load()) })
+	reg.CounterFunc("netout_serve_panics_total", "Worker panics recovered and converted into query errors.",
+		func() float64 { return float64(p.panics.Load()) })
+	reg.CounterFunc("netout_serve_timeouts_total", "Queries that failed with an expired deadline.",
+		func() float64 { return float64(p.timeouts.Load()) })
+	reg.CounterFunc("netout_serve_partials_total", "Deadline-degraded queries answered with a Partial=true result.",
+		func() float64 { return float64(p.partials.Load()) })
 }
 
 // Stats returns a snapshot of the pool's traffic counters.
@@ -214,6 +346,10 @@ func (p *ServePool) Stats() ServeStats {
 		Failed:    p.failed.Load(),
 		QueueWait: time.Duration(p.queueNs.Load()),
 		Execute:   time.Duration(p.executeNs.Load()),
+		Shed:      p.shed.Load(),
+		Panics:    p.panics.Load(),
+		Timeouts:  p.timeouts.Load(),
+		Partials:  p.partials.Load(),
 	}
 }
 

@@ -181,6 +181,7 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+	seen    map[string]struct{} // Once keys
 }
 
 // NewRegistry creates an empty registry.
@@ -264,6 +265,25 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 // Re-registering replaces fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, kindGaugeFunc, func(m *metric) { m.fn = fn })
+}
+
+// Once reports whether key is being seen for the first time on this
+// registry. Composite registration helpers use it to become idempotent per
+// (registry, subject): guard the registration block with
+// `if !reg.Once(key) { return }` and calling the helper twice — e.g. a
+// ServePool and an ExecuteBatch sharing one registry and one materializer —
+// registers the collectors once. Safe for concurrent use.
+func (r *Registry) Once(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen == nil {
+		r.seen = make(map[string]struct{})
+	}
+	if _, ok := r.seen[key]; ok {
+		return false
+	}
+	r.seen[key] = struct{}{}
+	return true
 }
 
 // ---------------------------------------------------------------------------

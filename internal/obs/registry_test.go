@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -207,5 +208,38 @@ func TestAdminMux(t *testing.T) {
 	}
 	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestRegistryOnce(t *testing.T) {
+	reg := NewRegistry()
+	if !reg.Once("setup:a") {
+		t.Fatal("first Once(a) = false, want true")
+	}
+	if reg.Once("setup:a") {
+		t.Fatal("second Once(a) = true, want false")
+	}
+	if !reg.Once("setup:b") {
+		t.Fatal("a distinct key must be first-seen independently")
+	}
+	// Keys are per registry, not global.
+	if !NewRegistry().Once("setup:a") {
+		t.Fatal("Once leaked across registries")
+	}
+	// Concurrent claimants: exactly one wins per key.
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if reg.Once("setup:contested") {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("contested key claimed %d times, want exactly 1", wins.Load())
 	}
 }

@@ -366,6 +366,21 @@ func NewServePool(g *Graph, opts ServeOptions) (*ServePool, error) {
 	return core.NewServePool(g, opts)
 }
 
+// Serving robustness: admission control and panic isolation (DESIGN.md,
+// "Serving robustness").
+
+// ErrOverloaded is returned by ServePool.Execute when the pool's bounded
+// queue (ServeOptions.MaxQueue) is full: the query is shed immediately
+// instead of queueing unboundedly. Treat it as retryable back-pressure.
+var ErrOverloaded = core.ErrOverloaded
+
+// PanicError is a panic recovered by a serving-layer worker and converted
+// into a per-query error, with the stack captured at the panic site.
+type PanicError = core.PanicError
+
+// IsPanicError reports whether err wraps a recovered worker panic.
+func IsPanicError(err error) bool { return core.IsPanicError(err) }
+
 // ---------------------------------------------------------------------------
 // Observability (metrics registry, query traces, slow-query log, admin HTTP)
 
