@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-smoke profile fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-smoke profile fuzz experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Serving-scope error hygiene: naked fmt.Errorf/errors.New are forbidden in
+# internal/core's serving files and cmd/netout — untyped errors classify as
+# INTERNAL at the HTTP boundary instead of their true status. Fails the
+# build on any finding.
+lint:
+	$(GO) run ./cmd/xerrlint
 
 test: vet
 	$(GO) test ./...

@@ -207,7 +207,7 @@ func main() {
 func loadNetwork(path string, genScale int, seed int64, quiet bool) (*netout.Graph, error) {
 	switch {
 	case path != "" && genScale > 0:
-		return nil, fmt.Errorf("use either -net or -gen, not both")
+		return nil, netout.Errorf(netout.CodeInvalidArgument, "use either -net or -gen, not both")
 	case path != "":
 		return netout.LoadGraph(path)
 	case genScale > 0:
@@ -219,7 +219,7 @@ func loadNetwork(path string, genScale int, seed int64, quiet bool) (*netout.Gra
 		g, _, err := netout.Generate(cfg)
 		return g, err
 	default:
-		return nil, fmt.Errorf("need -net <file> or -gen <scale>")
+		return nil, netout.Errorf(netout.CodeInvalidArgument, "need -net <file> or -gen <scale>")
 	}
 }
 
@@ -267,7 +267,7 @@ func buildMaterializer(g *netout.Graph, strategy string, threshold float64, cach
 		return mat, nil
 	case "spm":
 		if len(queries) == 0 {
-			return nil, fmt.Errorf("-strategy spm needs -query or -file as the initialization query set")
+			return nil, netout.Errorf(netout.CodeInvalidArgument, "-strategy spm needs -query or -file as the initialization query set")
 		}
 		if !quiet {
 			fmt.Printf("selective pre-materialization (SPM, threshold %g) from %d queries ...\n", threshold, len(queries))
@@ -282,7 +282,7 @@ func buildMaterializer(g *netout.Graph, strategy string, threshold float64, cach
 		}
 		return mat, nil
 	}
-	return nil, fmt.Errorf("unknown strategy %q (want baseline, pm, spm or cached)", strategy)
+	return nil, netout.Errorf(netout.CodeInvalidArgument, "unknown strategy %q (want baseline, pm, spm or cached)", strategy)
 }
 
 // jsonResults switches all result printing to JSON lines (set by -json).
@@ -324,6 +324,9 @@ func runOne(eng *netout.Engine, src string, timing bool) error {
 // -timing, the Figure 4 cost breakdown and the per-phase trace ride along,
 // so the two flags compose instead of -json silently dropping -timing.
 type jsonResult struct {
+	// RequestID is the serving layer's correlation ID (set in -serve mode,
+	// echoed from the X-Request-Id response header; empty for CLI output).
+	RequestID      string      `json:"request_id,omitempty"`
 	Entries        []jsonEntry `json:"entries"`
 	Partial        bool        `json:"partial,omitempty"`
 	Skipped        int         `json:"skipped"`
@@ -494,7 +497,7 @@ func dispatch(eng *netout.Engine, names *nameIndex, src, bare string, timing boo
 		return nil
 	case ".names":
 		if len(fields) < 2 {
-			return fmt.Errorf(".names wants: .names <type> [<prefix>]")
+			return netout.Errorf(netout.CodeInvalidArgument, ".names wants: .names <type> [<prefix>]")
 		}
 		prefix := ""
 		if len(fields) > 2 {
@@ -503,7 +506,7 @@ func dispatch(eng *netout.Engine, names *nameIndex, src, bare string, timing boo
 		return names.print(fields[1], prefix, 25)
 	case ".explain":
 		if len(fields) < 3 {
-			return fmt.Errorf(".explain wants: .explain <name> <query>")
+			return netout.Errorf(netout.CodeInvalidArgument, ".explain wants: .explain <name> <query>")
 		}
 		rest := strings.TrimSpace(strings.TrimPrefix(bare, ".explain"))
 		name, query, err := splitNameAndQuery(rest)
@@ -558,26 +561,26 @@ func dispatch(eng *netout.Engine, names *nameIndex, src, bare string, timing boo
 		fmt.Print(h.Render(48))
 		return nil
 	}
-	return fmt.Errorf("unknown command %s (try .help;)", fields[0])
+	return netout.Errorf(netout.CodeInvalidArgument, "unknown command %s (try .help;)", fields[0])
 }
 
 // splitNameAndQuery splits `.explain` arguments: either a quoted name
 // followed by the query, or a single bare word.
 func splitNameAndQuery(rest string) (name, query string, err error) {
 	if rest == "" {
-		return "", "", fmt.Errorf("missing candidate name")
+		return "", "", netout.Errorf(netout.CodeInvalidArgument, "missing candidate name")
 	}
 	if rest[0] == '"' || rest[0] == '\'' {
 		quote := rest[0]
 		end := strings.IndexByte(rest[1:], quote)
 		if end < 0 {
-			return "", "", fmt.Errorf("unterminated quoted name")
+			return "", "", netout.Errorf(netout.CodeInvalidArgument, "unterminated quoted name")
 		}
 		return rest[1 : 1+end], strings.TrimSpace(rest[2+end:]), nil
 	}
 	parts := strings.SplitN(rest, " ", 2)
 	if len(parts) != 2 {
-		return "", "", fmt.Errorf(".explain wants: .explain <name> <query>")
+		return "", "", netout.Errorf(netout.CodeInvalidArgument, ".explain wants: .explain <name> <query>")
 	}
 	return parts[0], strings.TrimSpace(parts[1]), nil
 }
@@ -608,7 +611,7 @@ func newNameIndex(g *netout.Graph) *nameIndex {
 func (ni *nameIndex) print(typeName, prefix string, limit int) error {
 	t, ok := ni.g.Schema().TypeByName(typeName)
 	if !ok {
-		return fmt.Errorf("unknown vertex type %q", typeName)
+		return netout.Errorf(netout.CodeNotFound, "unknown vertex type %q", typeName)
 	}
 	tr := ni.tries[typeName]
 	if tr == nil {

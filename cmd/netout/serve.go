@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,11 +17,21 @@ import (
 
 // HTTP serve mode (-serve): a ServePool behind a minimal query endpoint,
 // with the admin endpoints (/metrics, /healthz, /debug/slow, /debug/pprof)
-// riding along on the same mux. The status mapping makes the pool's
-// robustness semantics visible to HTTP clients: a shed query is 429 (back
-// off and retry), an expired deadline without a usable partial is 504, a
-// recovered worker panic is 500, and everything else that fails is the
-// client's query (400).
+// riding along on the same mux. Statuses are derived from the typed error
+// taxonomy (netout.ErrorHTTPStatus), never from string matching:
+//
+//	400 CodeInvalidArgument   the query must change (parse/validate errors)
+//	404 CodeNotFound          a vertex named by the query does not exist
+//	429 CodeResourceExhausted admission control shed the query; retry later
+//	499 CodeCanceled          the client hung up; no body is written
+//	503 CodeUnavailable       the pool is draining or closed; retry elsewhere
+//	504 CodeDeadlineExceeded  the deadline expired without a usable partial
+//	500 CodeInternal          the server's fault — including every
+//	                          unclassified error; never the client's
+//
+// Every response carries an X-Request-Id header (the caller's, if the
+// request supplied one, else freshly generated); error bodies repeat it in
+// JSON so a 500 can be correlated with its stack at /debug/slow.
 
 type serveConfig struct {
 	addr        string
@@ -59,50 +71,107 @@ func runServe(g *netout.Graph, cfg serveConfig) error {
 	return http.ListenAndServe(cfg.addr, serveHandler(pool, cfg.reg, cfg.slow))
 }
 
+// queryExecutor is the slice of ServePool the handler needs. The seam lets
+// tests drive the full status-mapping table with fake executors returning
+// each error class, without constructing pool-internal failure states.
+type queryExecutor interface {
+	Execute(ctx context.Context, src string) (*netout.Result, error)
+}
+
+// jsonError is the machine-readable error body: the taxonomy code (stable
+// contract), the human-readable message, and the request ID for /debug/slow
+// correlation.
+type jsonError struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
+	} `json:"error"`
+}
+
 // serveHandler builds the serve-mode HTTP handler around an existing pool
 // (split from runServe so tests can drive it through httptest).
-func serveHandler(pool *netout.ServePool, reg *netout.MetricsRegistry, slow *netout.SlowLog) http.Handler {
+func serveHandler(pool queryExecutor, reg *netout.MetricsRegistry, slow *netout.SlowLog) http.Handler {
 	mux := netout.NewAdminMux(reg, slow)
+	const responsesHelp = "HTTP /query responses by status code."
+	countResponse := func(status int) {
+		if reg != nil {
+			reg.Counter(`netout_http_responses_total{code="`+strconv.Itoa(status)+`"}`, responsesHelp).Inc()
+		}
+	}
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		// Resolve the request ID first: every response — including the
+		// early 400s below — must be correlatable.
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = netout.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		writeError := func(status int, code netout.ErrorCode, msg string) {
+			countResponse(status)
+			var je jsonError
+			je.Error.Code = string(code)
+			je.Error.Message = msg
+			je.Error.RequestID = rid
+			body, _ := json.Marshal(je)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write(body)
+			w.Write([]byte("\n"))
+		}
 		src := r.URL.Query().Get("q")
 		if src == "" && r.Body != nil {
 			b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				writeError(http.StatusBadRequest, netout.CodeInvalidArgument,
+					"reading request body: "+err.Error())
 				return
 			}
 			src = string(b)
 		}
 		if strings.TrimSpace(src) == "" {
-			http.Error(w, "missing query: pass ?q=... or a request body", http.StatusBadRequest)
+			writeError(http.StatusBadRequest, netout.CodeInvalidArgument,
+				"missing query: pass ?q=... or a request body")
 			return
 		}
-		res, err := pool.Execute(r.Context(), src)
-		switch {
-		case errors.Is(err, netout.ErrOverloaded):
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-		case errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
-		case netout.IsPanicError(err):
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		default:
-			w.Header().Set("Content-Type", "application/json")
-			jr := jsonResult{
-				Partial:        res.Partial,
-				Skipped:        len(res.Skipped),
-				CandidateCount: res.CandidateCount,
-				ReferenceCount: res.ReferenceCount,
-				TotalMicros:    res.Timing.Total.Microseconds(),
+		ctx := netout.ContextWithRequestID(r.Context(), rid)
+		res, err := pool.Execute(ctx, src)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// The client hung up: nobody is reading the body. Record the
+				// 499 for the access-side metrics and stop — writing a
+				// response to a dead connection only obscures logs.
+				countResponse(netout.StatusClientClosedRequest)
+				w.WriteHeader(netout.StatusClientClosedRequest)
+				return
 			}
-			for i, e := range res.Entries {
-				jr.Entries = append(jr.Entries, jsonEntry{Rank: i + 1, Name: e.Name, Score: e.Score})
-			}
-			if err := json.NewEncoder(w).Encode(jr); err != nil {
-				fmt.Fprintf(w, "encoding result: %v", err)
-			}
+			writeError(netout.ErrorHTTPStatus(err), netout.ErrorCodeOf(err), err.Error())
+			return
 		}
+		jr := jsonResult{
+			RequestID:      rid,
+			Partial:        res.Partial,
+			Skipped:        len(res.Skipped),
+			CandidateCount: res.CandidateCount,
+			ReferenceCount: res.ReferenceCount,
+			TotalMicros:    res.Timing.Total.Microseconds(),
+		}
+		for i, e := range res.Entries {
+			jr.Entries = append(jr.Entries, jsonEntry{Rank: i + 1, Name: e.Name, Score: e.Score})
+		}
+		// Encode to a buffer before touching the ResponseWriter: an encode
+		// failure (e.g. a NaN score) must produce a clean 500, not a 200
+		// header followed by a half-written body with an error message
+		// glued onto valid JSON.
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(jr); err != nil {
+			writeError(http.StatusInternalServerError, netout.CodeInternal,
+				"encoding result: "+err.Error())
+			return
+		}
+		countResponse(http.StatusOK)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
 	})
 	return mux
 }

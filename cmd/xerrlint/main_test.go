@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFileFindsNakedConstructors(t *testing.T) {
+	path := writeTemp(t, "bad.go", `package p
+
+import (
+	"errors"
+	"fmt"
+)
+
+func a() error { return fmt.Errorf("naked %d", 1) }
+func b() error { return errors.New("also naked") }
+`)
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].String(), "fmt.Errorf") {
+		t.Fatalf("first finding: %s", findings[0])
+	}
+	if !strings.Contains(findings[1].String(), "errors.New") {
+		t.Fatalf("second finding: %s", findings[1])
+	}
+}
+
+func TestCheckFileAllowsTypedConstructors(t *testing.T) {
+	path := writeTemp(t, "good.go", `package p
+
+import "netout/internal/xerr"
+
+func a() error { return xerr.Newf(xerr.Internal, "typed %d", 1) }
+func b() error { return xerr.New(xerr.Unavailable, "typed") }
+func c(err error) error { return xerr.Wrap(xerr.InvalidArgument, err) }
+`)
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("false positives: %v", findings)
+	}
+}
+
+func TestCheckFileAllowsErrorsIsAsJoin(t *testing.T) {
+	// Only the constructors are forbidden — classification helpers from the
+	// errors package stay legal everywhere.
+	path := writeTemp(t, "helpers.go", `package p
+
+import (
+	"context"
+	"errors"
+)
+
+func a(err error) bool  { return errors.Is(err, context.Canceled) }
+func b(err error) error { return errors.Join(err, context.Canceled) }
+`)
+	findings, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("false positives: %v", findings)
+	}
+}
+
+// The default serving scope of THIS repository must be clean — this is the
+// regression gate `make lint` runs in CI form.
+func TestServingScopeIsClean(t *testing.T) {
+	root := repoRoot(t)
+	for _, target := range defaultScope {
+		abs := filepath.Join(root, target)
+		fi, err := os.Stat(abs)
+		if err != nil {
+			t.Fatalf("scope entry %s: %v", target, err)
+		}
+		var files []string
+		if fi.IsDir() {
+			entries, err := os.ReadDir(abs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					files = append(files, filepath.Join(abs, e.Name()))
+				}
+			}
+		} else {
+			files = []string{abs}
+		}
+		for _, f := range files {
+			findings, err := checkFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fd := range findings {
+				t.Errorf("%s", fd)
+			}
+		}
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}

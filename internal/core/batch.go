@@ -2,13 +2,13 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
 	"netout/internal/obs"
+	"netout/internal/xerr"
 )
 
 // Batch execution answers the paper's third motivating challenge — "data
@@ -46,7 +46,7 @@ func NewView(m Materializer) (Materializer, error) {
 	case *cached:
 		return &cached{state: v.state}, nil
 	}
-	return nil, fmt.Errorf("core: cannot create a concurrent view of %T", m)
+	return nil, xerr.Newf(xerr.Internal, "core: cannot create a concurrent view of %T", m)
 }
 
 // viewable lets a materializer outside the built-in set supply its own

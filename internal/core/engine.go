@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -14,6 +13,7 @@ import (
 	"netout/internal/obs"
 	"netout/internal/oql"
 	"netout/internal/sparse"
+	"netout/internal/xerr"
 )
 
 // Engine executes outlier queries over a heterogeneous information network.
@@ -196,6 +196,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, src string) (*Result, error
 	if err != nil {
 		if e.obs != nil {
 			e.obs.Counter(`netout_queries_total{outcome="error"}`, queriesHelp).Inc()
+			e.obs.Counter(`netout_query_errors_total{outcome="`+xerr.Outcome(err)+`"}`, errorsHelp).Inc()
 		}
 		return nil, err
 	}
@@ -205,10 +206,15 @@ func (e *Engine) ExecuteContext(ctx context.Context, src string) (*Result, error
 
 const queriesHelp = "Queries executed by outcome (parse/validation failures and cancellations count as errors)."
 
+const errorsHelp = "Query errors by taxonomy outcome (finer-grained companion to netout_queries_total)."
+
 // observeQuery seals the trace onto the result and feeds the configured
-// registry and slow-query log.
-func (e *Engine) observeQuery(tr *obs.Tracer, q *oql.Query, res *Result, err error) {
+// registry and slow-query log. The serving layer's request ID, when ctx
+// carries one, is stamped onto the trace so the slow log and /debug/slow
+// are addressable by the X-Request-Id a client saw.
+func (e *Engine) observeQuery(ctx context.Context, tr *obs.Tracer, q *oql.Query, res *Result, err error) {
 	trace := tr.Finish()
+	trace.RequestID = obs.RequestIDFrom(ctx)
 	if res != nil {
 		res.Trace = trace
 	}
@@ -226,6 +232,13 @@ func (e *Engine) observeQuery(tr *obs.Tracer, q *oql.Query, res *Result, err err
 				"Queries answered with a deadline-degraded Partial=true result.").Inc()
 		}
 		e.obs.Counter(`netout_queries_total{outcome="`+outcome+`"}`, queriesHelp).Inc()
+		if err != nil {
+			// Finer-grained taxonomy counter alongside the coarse ok/error
+			// pair: the coarse counter's exact Served/Failed correspondence is
+			// load-bearing for dashboards and tests, so the breakdown by code
+			// lives in its own metric.
+			e.obs.Counter(`netout_query_errors_total{outcome="`+xerr.Outcome(err)+`"}`, errorsHelp).Inc()
+		}
 		e.obs.Histogram("netout_query_seconds", "Query wall time.", nil).Observe(trace.Total.Seconds())
 		for _, s := range trace.Spans {
 			e.obs.Histogram(`netout_query_phase_seconds{phase="`+s.Phase+`"}`,
@@ -238,8 +251,15 @@ func (e *Engine) observeQuery(tr *obs.Tracer, q *oql.Query, res *Result, err err
 				"Neighbor vectors served from an index or cache.").Add(s.Stats.IndexedVectors)
 		}
 	}
-	if e.slow != nil && err == nil {
-		e.slow.Record(q.String(), trace.Total, trace)
+	if e.slow != nil {
+		if err == nil {
+			e.slow.Record(q.String(), trace.Total, trace)
+		} else {
+			// Failures are retained by recency with their request ID, error
+			// text and (for defects) stack, so a 500's X-Request-Id locates
+			// the crashing frame at /debug/slow.
+			e.slow.RecordFailure(q.String(), trace.Total, trace, err.Error(), xerr.StackOf(err))
+		}
 	}
 }
 
@@ -259,7 +279,7 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 // any) has already been recorded.
 func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer) (res *Result, err error) {
 	start := time.Now()
-	defer func() { e.observeQuery(tr, q, res, err) }()
+	defer func() { e.observeQuery(ctx, tr, q, res, err) }()
 	// Panic isolation (registered after observeQuery so it runs first and
 	// the observation sees the error): a panic anywhere in execution — the
 	// engine's own phases or a pipeline worker's re-raised chunk failure —
@@ -514,9 +534,9 @@ func (e *Engine) EvalSetContext(ctx context.Context, expr oql.SetExpr) ([]hin.Ve
 		case oql.SetExcept:
 			return mergeExcept(left, right), nil
 		}
-		return nil, fmt.Errorf("core: unknown set operator %v", x.Op)
+		return nil, xerr.Newf(xerr.Internal, "core: unknown set operator %v", x.Op)
 	}
-	return nil, fmt.Errorf("core: unknown set expression %T", expr)
+	return nil, xerr.Newf(xerr.Internal, "core: unknown set expression %T", expr)
 }
 
 // expandSet advances a vertex set one hop on the engine's shared traverser.
@@ -533,7 +553,7 @@ func (e *Engine) evalChain(ctx context.Context, c *oql.SetChain) ([]hin.VertexID
 	s := e.g.Schema()
 	anchorType, ok := s.TypeByName(c.TypeName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown vertex type %q", c.TypeName)
+		return nil, xerr.Newf(xerr.InvalidArgument, "core: unknown vertex type %q", c.TypeName)
 	}
 	var set []hin.VertexID
 	if len(c.Names) == 0 {
@@ -542,7 +562,7 @@ func (e *Engine) evalChain(ctx context.Context, c *oql.SetChain) ([]hin.VertexID
 		for _, name := range c.Names {
 			v, ok := e.g.VertexByName(anchorType, name)
 			if !ok {
-				return nil, fmt.Errorf("core: no %s named %q", c.TypeName, name)
+				return nil, xerr.Newf(xerr.NotFound, "core: no %s named %q", c.TypeName, name)
 			}
 			set = append(set, v)
 		}
@@ -552,7 +572,7 @@ func (e *Engine) evalChain(ctx context.Context, c *oql.SetChain) ([]hin.VertexID
 	for _, step := range c.Steps {
 		t, ok := s.TypeByName(step)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown vertex type %q", step)
+			return nil, xerr.Newf(xerr.InvalidArgument, "core: unknown vertex type %q", step)
 		}
 		set = e.expandSet(set, t)
 	}
@@ -601,7 +621,7 @@ func (e *Engine) evalCond(ctx context.Context, cond oql.Cond, v hin.VertexID) (b
 		}
 		return c.Op.Eval(float64(n), c.Value), nil
 	}
-	return false, fmt.Errorf("core: unknown condition %T", cond)
+	return false, xerr.Newf(xerr.Internal, "core: unknown condition %T", cond)
 }
 
 // countNeighbors counts the distinct meta-path neighbors of v along the
@@ -613,7 +633,7 @@ func (e *Engine) countNeighbors(v hin.VertexID, steps []string) (int, error) {
 	for _, step := range steps {
 		t, ok := s.TypeByName(step)
 		if !ok {
-			return 0, fmt.Errorf("core: unknown vertex type %q", step)
+			return 0, xerr.Newf(xerr.InvalidArgument, "core: unknown vertex type %q", step)
 		}
 		set = e.expandSet(set, t)
 	}

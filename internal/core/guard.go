@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"netout/internal/xerr"
 )
 
 // Panic isolation for the serving layers. A production pool serving analyst
@@ -28,6 +30,19 @@ type PanicError struct {
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("core: recovered panic: %v", e.Value)
 }
+
+// ErrorCode classifies a recovered panic as INTERNAL in the serving
+// taxonomy (xerr.Coder): a panic is always the server's bug, never the
+// client's request.
+func (e *PanicError) ErrorCode() xerr.Code { return xerr.Internal }
+
+// ErrorKind marks a recovered panic as a Defect (xerr.Kinder): a
+// programmer bug that keeps its stack.
+func (e *PanicError) ErrorKind() xerr.Kind { return xerr.KindDefect }
+
+// ErrorStack surfaces the stack captured at the recovery point
+// (xerr.Stacker), so xerr.StackOf finds it through any wrapping.
+func (e *PanicError) ErrorStack() string { return e.Stack }
 
 func newPanicError(v any) *PanicError {
 	if pe, ok := v.(*PanicError); ok {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -12,6 +11,7 @@ import (
 	"netout/internal/metapath"
 	"netout/internal/oql"
 	"netout/internal/sparse"
+	"netout/internal/xerr"
 )
 
 // Progressive query execution implements the extension sketched in
@@ -145,7 +145,7 @@ func (e *Engine) ExecuteQueryProgressive(q *oql.Query, opts ProgressiveOptions) 
 // query.
 func (e *Engine) ExecuteQueryProgressiveContext(ctx context.Context, q *oql.Query, opts ProgressiveOptions) (*Result, error) {
 	if e.measure != MeasureNetOut {
-		return nil, fmt.Errorf("core: progressive execution supports the NetOut measure only (engine uses %s)", e.measure)
+		return nil, xerr.Newf(xerr.InvalidArgument, "core: progressive execution supports the NetOut measure only (engine uses %s)", e.measure)
 	}
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = 64

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,13 +10,20 @@ import (
 
 	"netout/internal/hin"
 	"netout/internal/obs"
+	"netout/internal/xerr"
 )
 
 // ErrOverloaded is returned by ServePool.Execute when admission control is
 // on (ServeOptions.MaxQueue > 0) and the queue is full: the pool sheds the
 // query immediately instead of queueing unboundedly. Callers should treat it
-// as retryable back-pressure (HTTP 429, not 500).
-var ErrOverloaded = errors.New("core: serve pool overloaded")
+// as retryable back-pressure: code RESOURCE_EXHAUSTED, HTTP 429, not 500.
+var ErrOverloaded = xerr.New(xerr.ResourceExhausted, "core: serve pool overloaded")
+
+// ErrPoolClosed is returned by ServePool.Execute once Close has begun: the
+// pool is draining or gone and this replica cannot take the query. Its code
+// is UNAVAILABLE (HTTP 503) — a shutting-down server is never the client's
+// fault, and a load balancer should retry elsewhere.
+var ErrPoolClosed = xerr.New(xerr.Unavailable, "core: ServePool is closed")
 
 // ServePool is the serving front door for heavy query traffic: a bounded
 // pool of workers, each with its own engine, all sharing one materializer
@@ -45,6 +51,7 @@ type ServePool struct {
 	panics    atomic.Int64
 	timeouts  atomic.Int64
 	partials  atomic.Int64
+	canceled  atomic.Int64
 }
 
 // ServeOptions configures NewServePool.
@@ -115,6 +122,10 @@ type ServeStats struct {
 	// (counted in Failed); Partials counts deadline-degraded queries that
 	// still produced a Partial=true result (counted in Served).
 	Timeouts, Partials int64
+	// Canceled counts queries a worker observed aborting with
+	// context.Canceled — a caller that went away, not a timeout and not a
+	// server fault (counted in Failed, never in Timeouts).
+	Canceled int64
 }
 
 // MeanQueueWait returns the mean time a query waited for a free worker,
@@ -228,11 +239,15 @@ func (p *ServePool) serveJob(eng *Engine, job serveJob) {
 	if err != nil {
 		res = nil
 		p.failed.Add(1)
-		if IsPanicError(err) {
+		switch {
+		case IsPanicError(err):
 			p.panics.Add(1)
-		}
-		if degradable(err) {
+		case degradable(err):
+			// Deadline expiry only: cancellation must never inflate the
+			// timeout count — degradable excludes context.Canceled.
 			p.timeouts.Add(1)
+		case errors.Is(err, context.Canceled):
+			p.canceled.Add(1)
 		}
 	} else {
 		p.served.Add(1)
@@ -249,10 +264,22 @@ func (p *ServePool) serveJob(eng *Engine, job serveJob) {
 // a query abandoned after dispatch still aborts promptly, because the
 // worker checks the context at per-vertex granularity. When the pool has a
 // DefaultTimeout and ctx carries no deadline, the timeout is applied here;
-// with MaxQueue set, a full queue fails fast with ErrOverloaded.
+// with MaxQueue set, a full queue fails fast with ErrOverloaded; a closed
+// pool fails with ErrPoolClosed.
+//
+// Every query is stamped with a per-request correlation ID — the caller's,
+// when ctx carries one (obs.WithRequestID), or a fresh one. The ID rides
+// the context into the engine's trace (Result.Trace.RequestID) and the
+// slow-query log, and every error Execute returns carries it
+// (xerr.RequestIDOf), so a failure is correlatable end to end.
 func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	rid := obs.RequestIDFrom(ctx)
+	if rid == "" {
+		rid = obs.NewRequestID()
+		ctx = obs.WithRequestID(ctx, rid)
 	}
 	if p.timeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -264,11 +291,11 @@ func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
-		return nil, fmt.Errorf("core: ServePool is closed")
+		return nil, xerr.WithRequestID(ErrPoolClosed, rid)
 	}
 	if err := ctxErr(ctx); err != nil {
 		p.mu.RUnlock()
-		return nil, err
+		return nil, xerr.WithRequestID(xerr.Interrupt(err), rid)
 	}
 	job := serveJob{ctx: ctx, src: src, enqueued: time.Now(), done: make(chan serveDone, 1)}
 	if p.maxQueue > 0 {
@@ -281,7 +308,7 @@ func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 		default:
 			p.mu.RUnlock()
 			p.shed.Add(1)
-			return nil, ErrOverloaded
+			return nil, xerr.WithRequestID(ErrOverloaded, rid)
 		}
 	} else {
 		select {
@@ -289,12 +316,12 @@ func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 			p.mu.RUnlock()
 		case <-ctx.Done():
 			p.mu.RUnlock()
-			return nil, ctx.Err()
+			return nil, xerr.WithRequestID(xerr.Interrupt(ctx.Err()), rid)
 		}
 	}
 	select {
 	case d := <-job.done:
-		return d.res, d.err
+		return d.res, xerr.WithRequestID(d.err, rid)
 	case <-ctx.Done():
 		if degradable(ctx.Err()) && p.grace > 0 {
 			// The worker observes this same expired deadline at its next
@@ -306,13 +333,13 @@ func (p *ServePool) Execute(ctx context.Context, src string) (*Result, error) {
 			defer t.Stop()
 			select {
 			case d := <-job.done:
-				return d.res, d.err
+				return d.res, xerr.WithRequestID(d.err, rid)
 			case <-t.C:
 			}
 		}
 		// The worker aborts via the same context; its result is discarded
 		// into the buffered done channel.
-		return nil, ctx.Err()
+		return nil, xerr.WithRequestID(xerr.Interrupt(ctx.Err()), rid)
 	}
 }
 
@@ -337,6 +364,8 @@ func (p *ServePool) registerMetrics(reg *obs.Registry, workers int) {
 		func() float64 { return float64(p.timeouts.Load()) })
 	reg.CounterFunc("netout_serve_partials_total", "Deadline-degraded queries answered with a Partial=true result.",
 		func() float64 { return float64(p.partials.Load()) })
+	reg.CounterFunc("netout_serve_canceled_total", "Queries aborted by caller cancellation (not timeouts).",
+		func() float64 { return float64(p.canceled.Load()) })
 }
 
 // Stats returns a snapshot of the pool's traffic counters.
@@ -350,6 +379,7 @@ func (p *ServePool) Stats() ServeStats {
 		Panics:    p.panics.Load(),
 		Timeouts:  p.timeouts.Load(),
 		Partials:  p.partials.Load(),
+		Canceled:  p.canceled.Load(),
 	}
 }
 

@@ -1,0 +1,214 @@
+package core
+
+// Tests for the serving error taxonomy: typed sentinels, cancel-vs-deadline
+// accounting, and request-ID threading from Execute through the trace, the
+// returned error and the slow log's failure ring.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/obs"
+	"netout/internal/xerr"
+)
+
+// A drained pool must refuse queries with the typed ErrPoolClosed
+// (UNAVAILABLE — the server's state, never the client's query), not an
+// anonymous error that the HTTP layer would misclassify as a 400.
+func TestServePoolClosedTyped(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(41)))
+	pool, err := NewServePool(g, ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	res, err := pool.Execute(context.Background(), faultQuery)
+	if res != nil {
+		t.Fatalf("res = %+v, want nil from a closed pool", res)
+	}
+	if !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+	if xerr.CodeOf(err) != xerr.Unavailable {
+		t.Fatalf("CodeOf = %s, want UNAVAILABLE", xerr.CodeOf(err))
+	}
+	if xerr.RequestIDOf(err) == "" {
+		t.Fatal("closed-pool error carries no request ID")
+	}
+}
+
+// The pool's typed sentinels classify for the adapters without any string
+// matching.
+func TestServeSentinelCodes(t *testing.T) {
+	if xerr.CodeOf(ErrOverloaded) != xerr.ResourceExhausted {
+		t.Fatalf("ErrOverloaded code = %s", xerr.CodeOf(ErrOverloaded))
+	}
+	if xerr.CodeOf(ErrPoolClosed) != xerr.Unavailable {
+		t.Fatalf("ErrPoolClosed code = %s", xerr.CodeOf(ErrPoolClosed))
+	}
+	if xerr.HTTPStatus(ErrPoolClosed) != 503 {
+		t.Fatalf("ErrPoolClosed status = %d, want 503", xerr.HTTPStatus(ErrPoolClosed))
+	}
+	if xerr.HTTPStatus(ErrOverloaded) != 429 {
+		t.Fatalf("ErrOverloaded status = %d, want 429", xerr.HTTPStatus(ErrOverloaded))
+	}
+}
+
+// Cancellation is not a timeout: a query aborted by its caller must count
+// in ServeStats.Canceled (and Failed), never in Timeouts, and surface in
+// its own metric.
+func TestServePoolCancelNotTimeout(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(43)))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var loads atomic.Int64
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		if loads.Add(1) == 2 { // mid-execution, after the worker picked it up
+			cancel()
+		}
+	}}
+	reg := obs.NewRegistry()
+	pool, err := NewServePool(g, ServeOptions{Workers: 1, Materializer: fm, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Execute(ctx, faultQuery)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if xerr.CodeOf(err) != xerr.Canceled {
+		t.Fatalf("CodeOf = %s, want CANCELED", xerr.CodeOf(err))
+	}
+	pool.Close() // joins the worker, so the accounting below is settled
+	st := pool.Stats()
+	if st.Failed != 1 || st.Canceled != 1 || st.Timeouts != 0 {
+		t.Fatalf("stats = %+v, want Failed=1 Canceled=1 Timeouts=0", st)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "netout_serve_canceled_total 1") {
+		t.Fatalf("scrape missing canceled counter:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "netout_serve_timeouts_total 0") {
+		t.Fatalf("cancellation inflated the timeout counter:\n%s", sb.String())
+	}
+}
+
+// Request-ID threading on the happy path: Execute generates an ID when the
+// caller has none, and the ID lands on the result's trace; a caller-supplied
+// ID is honored verbatim.
+func TestServePoolRequestIDThreading(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(47)))
+	pool, err := NewServePool(g, ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	res, err := pool.Execute(context.Background(), faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.RequestID == "" {
+		t.Fatal("no request ID on the trace of a pool-served query")
+	}
+
+	ctx := obs.WithRequestID(context.Background(), "caller-supplied-id")
+	res, err = pool.Execute(ctx, faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.RequestID != "caller-supplied-id" {
+		t.Fatalf("trace rid = %q, want the caller's", res.Trace.RequestID)
+	}
+}
+
+// The 500-debuggability contract end to end: a worker panic comes back as a
+// request-ID-stamped INTERNAL defect, and that same ID addresses the
+// slow log's failure ring, where the stack of the panic is retained.
+func TestServePoolPanicRequestIDLocatesStack(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(53)))
+	fm := &faultMat{inner: NewBaseline(g), hook: fireOnce("injected rid fault")}
+	slow := obs.NewSlowLog(4)
+	pool, err := NewServePool(g, ServeOptions{Workers: 1, Materializer: fm, SlowLog: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	res, err := pool.Execute(context.Background(), faultQuery)
+	if res != nil || !IsPanicError(err) {
+		t.Fatalf("got (%v, %v), want (nil, *PanicError)", res, err)
+	}
+	if xerr.CodeOf(err) != xerr.Internal || xerr.KindOf(err) != xerr.KindDefect {
+		t.Fatalf("panic classified as %s/%s, want defect/INTERNAL", xerr.KindOf(err), xerr.CodeOf(err))
+	}
+	rid := xerr.RequestIDOf(err)
+	if rid == "" {
+		t.Fatal("panic error carries no request ID")
+	}
+	if st := xerr.StackOf(err); !strings.Contains(st, "NeighborVector") {
+		t.Fatalf("StackOf through the rid wrapper lost the panic stack:\n%s", st)
+	}
+
+	// The failure ring is written by the engine's observation hook on the
+	// worker goroutine; Execute has returned, so it is already recorded.
+	var entry *obs.SlowEntry
+	deadline := time.Now().Add(5 * time.Second)
+	for entry == nil {
+		for _, f := range slow.Failures() {
+			if f.RequestID == rid {
+				f := f
+				entry = &f
+			}
+		}
+		if entry == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("no failure entry with rid %q in the slow log (failures: %+v)", rid, slow.Failures())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !strings.Contains(entry.Err, "injected rid fault") {
+		t.Fatalf("failure entry error = %q", entry.Err)
+	}
+	if !strings.Contains(entry.Stack, "injected rid fault") && !strings.Contains(entry.Stack, "NeighborVector") {
+		t.Fatalf("failure entry retains no usable stack:\n%s", entry.Stack)
+	}
+	// And the rendered /debug/slow page carries the correlation.
+	page := slow.Format()
+	if !strings.Contains(page, "rid="+rid) {
+		t.Fatalf("slow log page does not mention rid %q:\n%s", rid, page)
+	}
+}
+
+// Engine errors carry their taxonomy codes: the codes — not the strings —
+// are what the HTTP layer keys on.
+func TestEngineErrorCodes(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(59)))
+	eng := NewEngine(g)
+	for _, tc := range []struct {
+		src  string
+		code xerr.Code
+	}{
+		{`FIND OUTLIERS FROM author{"No Such Author"} JUDGED BY author.paper.venue;`, xerr.NotFound},
+		{`FIND OUTLIERS FROM widget JUDGED BY author.paper.venue;`, xerr.InvalidArgument},
+		{`FIND OUTLIERS FROM;`, xerr.InvalidArgument}, // parse error
+		{`FIND OUTLIERS FROM author;`, xerr.InvalidArgument},
+	} {
+		_, err := eng.Execute(tc.src)
+		if err == nil {
+			t.Fatalf("%s: expected an error", tc.src)
+		}
+		if got := xerr.CodeOf(err); got != tc.code {
+			t.Errorf("%s: code = %s, want %s", tc.src, got, tc.code)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Per-request correlation IDs. The serving layer stamps every query with an
+// ID that travels through the context into the query trace, the slow-query
+// log and the HTTP response (X-Request-Id), so an operator can walk from a
+// 5xx straight to the /debug/slow entry holding its trace or stack.
+
+// ridCtxKey is the private context key for the request ID.
+type ridCtxKey struct{}
+
+// WithRequestID returns a context carrying the given request ID. An empty
+// id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridCtxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx ("" when none, or
+// when ctx is nil).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	if id, ok := ctx.Value(ridCtxKey{}).(string); ok {
+		return id
+	}
+	return ""
+}
+
+// ridBase is a per-process random prefix so IDs from different processes
+// (or restarts) never collide; ridSeq makes IDs unique within the process.
+var (
+	ridBase = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0x6e6574 // deterministic fallback; uniqueness still holds in-process
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID returns a fresh request ID: a fixed-width hex token unique
+// within the process and collision-resistant across processes.
+func NewRequestID() string {
+	return fmt.Sprintf("%012x-%06x", ridBase&0xffffffffffff, ridSeq.Add(1)&0xffffff)
+}

@@ -8,30 +8,45 @@ import (
 	"time"
 )
 
-// SlowEntry is one retained slow query.
+// SlowEntry is one retained slow query or failure.
 type SlowEntry struct {
 	// When is the query's completion time.
 	When time.Time
 	// Query is the OQL source text.
 	Query string
+	// RequestID is the serving layer's correlation ID ("" outside serving).
+	RequestID string
 	// Duration is the query's wall time.
 	Duration time.Duration
 	// Trace is the query's phase breakdown (may be nil).
 	Trace *Trace
+	// Err is the failure message ("" for retained slow successes).
+	Err string
+	// Stack is the captured stack when the failure was a defect (a
+	// recovered panic); "" otherwise. This is what lets an operator walk
+	// from a 500's X-Request-Id to the crashing frame via /debug/slow.
+	Stack string
 }
 
-// SlowLog retains the N slowest queries seen so far in a fixed-size buffer:
-// a new query replaces the fastest retained entry once the buffer is full,
-// so memory is bounded regardless of traffic volume. It is safe for
-// concurrent use.
+// SlowLog retains the N slowest queries seen so far in a fixed-size buffer
+// (a new query replaces the fastest retained entry once the buffer is
+// full), plus a same-sized ring of the most recent failed queries with
+// their request IDs, errors and — for defects — stacks. Memory is bounded
+// regardless of traffic volume. It is safe for concurrent use.
 type SlowLog struct {
 	mu      sync.Mutex
 	cap     int
 	entries []SlowEntry
+
+	// failures is a ring of the last cap failed queries; failNext is the
+	// ring cursor. Failures are retained by recency, not duration — a panic
+	// is worth finding even when the query died fast.
+	failures []SlowEntry
+	failNext int
 }
 
-// NewSlowLog creates a slow log retaining the n slowest queries (n <= 0
-// defaults to 16).
+// NewSlowLog creates a slow log retaining the n slowest queries and the n
+// most recent failures (n <= 0 defaults to 16).
 func NewSlowLog(n int) *SlowLog {
 	if n <= 0 {
 		n = 16
@@ -42,12 +57,17 @@ func NewSlowLog(n int) *SlowLog {
 // Cap returns the retention capacity.
 func (sl *SlowLog) Cap() int { return sl.cap }
 
-// Record offers one completed query to the log.
+// Record offers one successfully completed query to the log. The request
+// ID, when the query ran under a serving context, is read from the trace.
 func (sl *SlowLog) Record(query string, d time.Duration, trace *Trace) {
+	e := SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace}
+	if trace != nil {
+		e.RequestID = trace.RequestID
+	}
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	if len(sl.entries) < sl.cap {
-		sl.entries = append(sl.entries, SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace})
+		sl.entries = append(sl.entries, e)
 		return
 	}
 	// Full: replace the fastest retained entry if this one is slower.
@@ -58,11 +78,31 @@ func (sl *SlowLog) Record(query string, d time.Duration, trace *Trace) {
 		}
 	}
 	if d > sl.entries[min].Duration {
-		sl.entries[min] = SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace}
+		sl.entries[min] = e
 	}
 }
 
-// Snapshot returns the retained entries, slowest first.
+// RecordFailure retains one failed query in the failure ring: the error
+// text, the stack when the failure was a recovered panic (stack may be ""),
+// and the request ID from the trace so /debug/slow is addressable by the
+// X-Request-Id a client saw on its 5xx.
+func (sl *SlowLog) RecordFailure(query string, d time.Duration, trace *Trace, errText, stack string) {
+	e := SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace, Err: errText, Stack: stack}
+	if trace != nil {
+		e.RequestID = trace.RequestID
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if len(sl.failures) < sl.cap {
+		sl.failures = append(sl.failures, e)
+		sl.failNext = len(sl.failures) % sl.cap
+		return
+	}
+	sl.failures[sl.failNext] = e
+	sl.failNext = (sl.failNext + 1) % sl.cap
+}
+
+// Snapshot returns the retained slow entries, slowest first.
 func (sl *SlowLog) Snapshot() []SlowEntry {
 	sl.mu.Lock()
 	out := append([]SlowEntry(nil), sl.entries...)
@@ -71,20 +111,53 @@ func (sl *SlowLog) Snapshot() []SlowEntry {
 	return out
 }
 
-// Format renders the slow log for terminal or /debug/slow display.
+// Failures returns the retained failed queries, most recent first.
+func (sl *SlowLog) Failures() []SlowEntry {
+	sl.mu.Lock()
+	out := append([]SlowEntry(nil), sl.failures...)
+	sl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].When.After(out[j].When) })
+	return out
+}
+
+// Format renders the slow log for terminal or /debug/slow display: the
+// slowest successes first, then the recent-failure ring with request IDs
+// and stacks.
 func (sl *SlowLog) Format() string {
 	entries := sl.Snapshot()
-	if len(entries) == 0 {
-		return "slow-query log: empty\n"
-	}
+	failures := sl.Failures()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "slow-query log: %d slowest queries (capacity %d)\n", len(entries), sl.cap)
-	for i, e := range entries {
-		fmt.Fprintf(&sb, "#%d  %v  %s\n    %s\n", i+1,
-			e.Duration.Round(time.Microsecond), e.When.Format(time.RFC3339), e.Query)
-		if e.Trace != nil {
-			for _, line := range strings.Split(strings.TrimRight(e.Trace.Format(), "\n"), "\n") {
-				fmt.Fprintf(&sb, "    %s\n", line)
+	if len(entries) == 0 {
+		sb.WriteString("slow-query log: empty\n")
+	} else {
+		fmt.Fprintf(&sb, "slow-query log: %d slowest queries (capacity %d)\n", len(entries), sl.cap)
+		for i, e := range entries {
+			fmt.Fprintf(&sb, "#%d  %v  %s", i+1,
+				e.Duration.Round(time.Microsecond), e.When.Format(time.RFC3339))
+			if e.RequestID != "" {
+				fmt.Fprintf(&sb, "  rid=%s", e.RequestID)
+			}
+			fmt.Fprintf(&sb, "\n    %s\n", e.Query)
+			if e.Trace != nil {
+				for _, line := range strings.Split(strings.TrimRight(e.Trace.Format(), "\n"), "\n") {
+					fmt.Fprintf(&sb, "    %s\n", line)
+				}
+			}
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(&sb, "recent failures: %d retained (capacity %d), most recent first\n", len(failures), sl.cap)
+		for i, e := range failures {
+			fmt.Fprintf(&sb, "!%d  %v  %s", i+1,
+				e.Duration.Round(time.Microsecond), e.When.Format(time.RFC3339))
+			if e.RequestID != "" {
+				fmt.Fprintf(&sb, "  rid=%s", e.RequestID)
+			}
+			fmt.Fprintf(&sb, "\n    %s\n    error: %s\n", e.Query, e.Err)
+			if e.Stack != "" {
+				for _, line := range strings.Split(strings.TrimRight(e.Stack, "\n"), "\n") {
+					fmt.Fprintf(&sb, "    %s\n", line)
+				}
 			}
 		}
 	}

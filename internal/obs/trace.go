@@ -36,6 +36,10 @@ type Span struct {
 
 // Trace is the per-query phase breakdown attached to a query result.
 type Trace struct {
+	// RequestID is the serving layer's per-request correlation ID ("" for
+	// queries executed outside a serving context). It links this trace to
+	// the HTTP response's X-Request-Id header and the slow-log entry.
+	RequestID string
 	// Begin is when the query started.
 	Begin time.Time
 	// Total is the query's wall time from Begin to Finish.
@@ -67,7 +71,11 @@ func (t *Trace) Span(phase string) (Span, bool) {
 // Format renders the trace for terminal display, one line per phase.
 func (t *Trace) Format() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "trace: total %v over %d phases\n", t.Total.Round(time.Microsecond), len(t.Spans))
+	fmt.Fprintf(&sb, "trace: total %v over %d phases", t.Total.Round(time.Microsecond), len(t.Spans))
+	if t.RequestID != "" {
+		fmt.Fprintf(&sb, "  rid=%s", t.RequestID)
+	}
+	sb.WriteString("\n")
 	for _, s := range t.Spans {
 		fmt.Fprintf(&sb, "  %-12s %10v", s.Phase, s.Duration.Round(time.Microsecond))
 		if st := s.Stats; st != (SpanStats{}) {

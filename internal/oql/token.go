@@ -16,6 +16,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"netout/internal/xerr"
 )
 
 type tokenKind int
@@ -104,6 +106,11 @@ type SyntaxError struct {
 }
 
 func (e *SyntaxError) Error() string { return fmt.Sprintf("oql: %s: %s", e.Pos, e.Msg) }
+
+// ErrorCode classifies a syntax error for the serving layer's taxonomy
+// (xerr.Coder): a query that does not parse is the client's request to fix,
+// never a server fault.
+func (e *SyntaxError) ErrorCode() xerr.Code { return xerr.InvalidArgument }
 
 type lexer struct {
 	src  string

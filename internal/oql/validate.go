@@ -1,12 +1,19 @@
 package oql
 
 import (
-	"fmt"
 	"strings"
 
 	"netout/internal/hin"
 	"netout/internal/metapath"
+	"netout/internal/xerr"
 )
+
+// invalidf builds a validation failure: code INVALID_ARGUMENT in the
+// serving taxonomy (the query must change, the server is healthy), message
+// built with fmt semantics so %w-wrapped causes stay errors.Is/As-visible.
+func invalidf(format string, args ...any) error {
+	return xerr.Newf(xerr.InvalidArgument, format, args...)
+}
 
 // Validate performs semantic validation of a parsed query against a schema,
 // enforcing the constraints of Definition 8:
@@ -18,25 +25,27 @@ import (
 //   - WHERE conditions reference the chain's own alias (or its element type
 //     name when no alias was declared).
 //
-// It returns the resolved element type of the candidate set.
+// It returns the resolved element type of the candidate set. Every error is
+// a typed INVALID_ARGUMENT failure — the only class of serving error that
+// maps to HTTP 400.
 func Validate(q *Query, s *hin.Schema) (hin.TypeID, error) {
 	if q.From == nil {
-		return hin.InvalidType, fmt.Errorf("oql: query has no candidate set")
+		return hin.InvalidType, invalidf("oql: query has no candidate set")
 	}
 	if len(q.Features) == 0 {
-		return hin.InvalidType, fmt.Errorf("oql: query has no feature meta-paths")
+		return hin.InvalidType, invalidf("oql: query has no feature meta-paths")
 	}
 	candType, err := validateSetExpr(q.From, s)
 	if err != nil {
-		return hin.InvalidType, fmt.Errorf("oql: candidate set: %w", err)
+		return hin.InvalidType, invalidf("oql: candidate set: %w", err)
 	}
 	if q.ComparedTo != nil {
 		refType, err := validateSetExpr(q.ComparedTo, s)
 		if err != nil {
-			return hin.InvalidType, fmt.Errorf("oql: reference set: %w", err)
+			return hin.InvalidType, invalidf("oql: reference set: %w", err)
 		}
 		if refType != candType {
-			return hin.InvalidType, fmt.Errorf(
+			return hin.InvalidType, invalidf(
 				"oql: candidate set has element type %s but reference set has %s; they must match",
 				s.TypeName(candType), s.TypeName(refType))
 		}
@@ -44,18 +53,18 @@ func Validate(q *Query, s *hin.Schema) (hin.TypeID, error) {
 	for i, f := range q.Features {
 		p, err := metapath.FromNames(s, f.Segments...)
 		if err != nil {
-			return hin.InvalidType, fmt.Errorf("oql: feature %d: %w", i+1, err)
+			return hin.InvalidType, invalidf("oql: feature %d: %w", i+1, err)
 		}
 		if err := p.Validate(s); err != nil {
-			return hin.InvalidType, fmt.Errorf("oql: feature %d (%s): %w", i+1, strings.Join(f.Segments, "."), err)
+			return hin.InvalidType, invalidf("oql: feature %d (%s): %w", i+1, strings.Join(f.Segments, "."), err)
 		}
 		if p.Source() != candType {
-			return hin.InvalidType, fmt.Errorf(
+			return hin.InvalidType, invalidf(
 				"oql: feature %d starts at %s but the candidate set contains %s vertices",
 				i+1, f.Segments[0], s.TypeName(candType))
 		}
 		if f.Weight <= 0 {
-			return hin.InvalidType, fmt.Errorf("oql: feature %d has non-positive weight %g", i+1, f.Weight)
+			return hin.InvalidType, invalidf("oql: feature %d has non-positive weight %g", i+1, f.Weight)
 		}
 	}
 	return candType, nil
@@ -75,12 +84,12 @@ func validateSetExpr(e SetExpr, s *hin.Schema) (hin.TypeID, error) {
 			return hin.InvalidType, err
 		}
 		if lt != rt {
-			return hin.InvalidType, fmt.Errorf(
+			return hin.InvalidType, invalidf(
 				"%s combines %s vertices with %s vertices", e.Op, s.TypeName(lt), s.TypeName(rt))
 		}
 		return lt, nil
 	default:
-		return hin.InvalidType, fmt.Errorf("unknown set expression %T", e)
+		return hin.InvalidType, invalidf("unknown set expression %T", e)
 	}
 }
 
@@ -88,10 +97,10 @@ func validateSetChain(c *SetChain, s *hin.Schema) (hin.TypeID, error) {
 	segments := append([]string{c.TypeName}, c.Steps...)
 	p, err := metapath.FromNames(s, segments...)
 	if err != nil {
-		return hin.InvalidType, err
+		return hin.InvalidType, xerr.Wrap(xerr.InvalidArgument, err)
 	}
 	if err := p.Validate(s); err != nil {
-		return hin.InvalidType, err
+		return hin.InvalidType, xerr.Wrap(xerr.InvalidArgument, err)
 	}
 	elemType := p.Target()
 	if c.Where != nil {
@@ -117,15 +126,15 @@ func validateCond(cond Cond, alias string, elemType hin.TypeID, s *hin.Schema) e
 		return validateCond(c.Inner, alias, elemType, s)
 	case *CondCount:
 		if !strings.EqualFold(c.Alias, alias) {
-			return fmt.Errorf("COUNT references %q but the set is named %q", c.Alias, alias)
+			return invalidf("COUNT references %q but the set is named %q", c.Alias, alias)
 		}
 		segments := append([]string{s.TypeName(elemType)}, c.Segments...)
 		p, err := metapath.FromNames(s, segments...)
 		if err != nil {
-			return err
+			return xerr.Wrap(xerr.InvalidArgument, err)
 		}
 		return p.Validate(s)
 	default:
-		return fmt.Errorf("unknown condition %T", cond)
+		return invalidf("unknown condition %T", cond)
 	}
 }

@@ -1,0 +1,64 @@
+package xerr
+
+import "net/http"
+
+// Transport adapters: pure code→policy mappings built ON TOP of the
+// classification core. Handlers and metric emitters call these instead of
+// hand-rolling error switches, so the wire semantics live in exactly one
+// place and every new error class is mapped the moment it gets a code.
+
+// StatusClientClosedRequest is the de-facto standard status (nginx's 499)
+// for a request whose client disconnected before the response was written.
+// No standard 4xx/5xx fits: the server did nothing wrong and the client
+// will never read the answer.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error to its HTTP response status. nil is 200. The
+// default arm is 500: an unclassified error is INTERNAL — the server's
+// fault — never a 400.
+func HTTPStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	switch CodeOf(err) {
+	case InvalidArgument:
+		return http.StatusBadRequest
+	case NotFound:
+		return http.StatusNotFound
+	case ResourceExhausted:
+		return http.StatusTooManyRequests
+	case DeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case Canceled:
+		return StatusClientClosedRequest
+	case Unavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Outcome maps an error to the low-cardinality metrics outcome label used
+// by per-outcome counters. nil is "ok". The label set is fixed — one label
+// per code — so dashboards can enumerate it.
+func Outcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	switch CodeOf(err) {
+	case InvalidArgument:
+		return "invalid"
+	case NotFound:
+		return "not_found"
+	case ResourceExhausted:
+		return "overloaded"
+	case DeadlineExceeded:
+		return "deadline"
+	case Canceled:
+		return "canceled"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}

@@ -35,6 +35,7 @@
 package netout
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -52,6 +53,7 @@ import (
 	"netout/internal/rel"
 	"netout/internal/sparse"
 	"netout/internal/walk"
+	"netout/internal/xerr"
 )
 
 // ---------------------------------------------------------------------------
@@ -366,13 +368,19 @@ func NewServePool(g *Graph, opts ServeOptions) (*ServePool, error) {
 	return core.NewServePool(g, opts)
 }
 
-// Serving robustness: admission control and panic isolation (DESIGN.md,
-// "Serving robustness").
+// Serving robustness: admission control, panic isolation and the typed
+// error taxonomy (DESIGN.md, "Serving robustness").
 
 // ErrOverloaded is returned by ServePool.Execute when the pool's bounded
 // queue (ServeOptions.MaxQueue) is full: the query is shed immediately
-// instead of queueing unboundedly. Treat it as retryable back-pressure.
+// instead of queueing unboundedly. Treat it as retryable back-pressure
+// (code CodeResourceExhausted, HTTP 429).
 var ErrOverloaded = core.ErrOverloaded
+
+// ErrPoolClosed is returned by ServePool.Execute once Close has begun: the
+// pool cannot take the query and a load balancer should retry elsewhere
+// (code CodeUnavailable, HTTP 503).
+var ErrPoolClosed = core.ErrPoolClosed
 
 // PanicError is a panic recovered by a serving-layer worker and converted
 // into a per-query error, with the stack captured at the panic site.
@@ -380,6 +388,91 @@ type PanicError = core.PanicError
 
 // IsPanicError reports whether err wraps a recovered worker panic.
 func IsPanicError(err error) bool { return core.IsPanicError(err) }
+
+// ErrorCode is a stable, machine-readable classification of a serving
+// error. Codes — not error strings — are the contract HTTP statuses and
+// metrics labels are derived from.
+type ErrorCode = xerr.Code
+
+// The serving error codes.
+const (
+	// CodeInvalidArgument: the query is malformed or fails validation; the
+	// client must change it (the ONLY code that maps to HTTP 400).
+	CodeInvalidArgument = xerr.InvalidArgument
+	// CodeNotFound: a vertex or resource named by the query does not exist.
+	CodeNotFound = xerr.NotFound
+	// CodeResourceExhausted: admission control shed the query (retryable).
+	CodeResourceExhausted = xerr.ResourceExhausted
+	// CodeDeadlineExceeded: the query's deadline expired.
+	CodeDeadlineExceeded = xerr.DeadlineExceeded
+	// CodeCanceled: the caller went away before the query finished.
+	CodeCanceled = xerr.Canceled
+	// CodeUnavailable: this replica cannot serve (draining or closed).
+	CodeUnavailable = xerr.Unavailable
+	// CodeInternal: the server's own fault — bugs, recovered panics, and
+	// every unclassified error.
+	CodeInternal = xerr.Internal
+)
+
+// NewError builds a classified failure with the given message.
+func NewError(code ErrorCode, msg string) error { return xerr.New(code, msg) }
+
+// Errorf builds a classified failure with fmt.Errorf semantics (%w wraps).
+func Errorf(code ErrorCode, format string, args ...any) error {
+	return xerr.Newf(code, format, args...)
+}
+
+// WrapError classifies an existing error without changing its message or
+// its errors.Is/As chain. Wrapping nil returns nil.
+func WrapError(code ErrorCode, err error) error {
+	if e := xerr.Wrap(code, err); e != nil {
+		return e
+	}
+	return nil
+}
+
+// ErrorCodeOf classifies any error: typed errors report their own code,
+// context.DeadlineExceeded / context.Canceled map to their codes, and
+// everything unclassified is CodeInternal — an unknown failure is the
+// server's fault, never the client's. nil reports "".
+func ErrorCodeOf(err error) ErrorCode { return xerr.CodeOf(err) }
+
+// ErrorHTTPStatus maps an error to its HTTP status: 400 InvalidArgument,
+// 404 NotFound, 429 ResourceExhausted, 504 DeadlineExceeded,
+// 499 Canceled (StatusClientClosedRequest), 503 Unavailable, 500 otherwise;
+// nil maps to 200.
+func ErrorHTTPStatus(err error) int { return xerr.HTTPStatus(err) }
+
+// ErrorOutcome maps an error to its metrics outcome label ("ok" for nil;
+// "invalid", "not_found", "overloaded", "deadline", "canceled",
+// "unavailable" or "internal" otherwise).
+func ErrorOutcome(err error) string { return xerr.Outcome(err) }
+
+// ErrorRequestID extracts the request ID an error was stamped with by the
+// serving layer ("" when there is none).
+func ErrorRequestID(err error) string { return xerr.RequestIDOf(err) }
+
+// ErrorStack extracts the captured stack from a defect (a recovered panic)
+// anywhere in err's chain; "" for failures, which carry no stack.
+func ErrorStack(err error) string { return xerr.StackOf(err) }
+
+// StatusClientClosedRequest is the non-standard 499 status (from nginx)
+// written for canceled requests, distinguishing "the client hung up" from
+// the server-fault 5xx classes in access logs and metrics.
+const StatusClientClosedRequest = xerr.StatusClientClosedRequest
+
+// ContextWithRequestID returns ctx carrying a request correlation ID that
+// ServePool.Execute and the engine will propagate into traces, the slow
+// log and returned errors.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestIDFromContext extracts the request ID from a context ("" if none).
+func RequestIDFromContext(ctx context.Context) string { return obs.RequestIDFrom(ctx) }
+
+// NewRequestID generates a fresh process-unique request ID.
+func NewRequestID() string { return obs.NewRequestID() }
 
 // ---------------------------------------------------------------------------
 // Observability (metrics registry, query traces, slow-query log, admin HTTP)
