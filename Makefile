@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-smoke profile fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-smoke obs-smoke profile fuzz experiments examples clean
 
 all: build vet lint test
 
@@ -48,6 +48,12 @@ bench-json:
 # One iteration of every benchmark: catches bit-rot without measuring.
 bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x ./...
+
+# Boot `netout -serve` with an event log and assert every observability
+# surface answers: /metrics, /debug/events, /debug/requests, /readyz, the
+# traceparent response header and the on-disk JSONL journal.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Benchmarks under the profiler: CPU and heap profiles (plus the test binary
 # needed to read them) land in results/ for `go tool pprof`.

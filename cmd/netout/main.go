@@ -29,6 +29,10 @@ import (
 	"netout/internal/trie"
 )
 
+// eventSlowAlways is the latency above which a query's wide event is always
+// journaled regardless of -event-sample, so the tail never samples away.
+const eventSlowAlways = 100 * time.Millisecond
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netout: ")
@@ -49,7 +53,9 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "intra-query pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
 		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
 		timing      = flag.Bool("timing", false, "print per-query timing breakdown and phase trace")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/slow and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/slow, /debug/events, /debug/requests and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		eventLog    = flag.String("event-log", "", "append one JSON wide event per completed query to this file")
+		eventSample = flag.Float64("event-sample", 1.0, "fraction of ok events kept in the journal; errors, partials and slow queries are always kept")
 		serveAddr   = flag.String("serve", "", "serve queries over HTTP on this address (GET/POST /query; admin endpoints ride along)")
 		maxQueue    = flag.Int("max-queue", 0, "with -serve: bound the admission queue; a full queue sheds queries with HTTP 429 (0 = unbounded)")
 		timeout     = flag.Duration("timeout", 0, "with -serve: default per-query deadline for requests that carry none (0 = none)")
@@ -113,10 +119,37 @@ func main() {
 	}
 	statsMat = mat
 
-	// The admin endpoint: Prometheus metrics, liveness, the slow-query log
-	// and pprof. It serves for as long as the process runs, so it is most
-	// useful with the REPL or long query files; one-shot runs still expose
-	// their final counters until exit.
+	// The query journal and in-flight table ride along whenever any
+	// observability surface is on (-metrics-addr, -serve or -event-log):
+	// one wide event per completed query into the ring (served at
+	// /debug/events) and, with -event-log, an append-only JSONL file.
+	var (
+		ring     *netout.EventRing
+		inflight *netout.Inflight
+		events   netout.EventSink
+	)
+	if *metricsAddr != "" || *serveAddr != "" || *eventLog != "" {
+		ring = netout.NewEventRing(0)
+		inflight = netout.NewInflight()
+		events = ring
+		if *eventLog != "" {
+			f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			events = netout.CombineEventSinks(ring, netout.NewJSONLEventWriter(f))
+		}
+		if *eventSample < 1 {
+			events = netout.NewSampledEventSink(events, *eventSample, eventSlowAlways)
+		}
+	}
+
+	// The admin endpoint: Prometheus metrics, liveness/readiness, the
+	// slow-query log, the event journal, the in-flight table and pprof. It
+	// serves for as long as the process runs, so it is most useful with the
+	// REPL or long query files; one-shot runs still expose their final
+	// counters until exit.
 	var (
 		reg  *netout.MetricsRegistry
 		slow *netout.SlowLog
@@ -126,14 +159,17 @@ func main() {
 		slow = netout.NewSlowLog(16)
 		netout.RegisterProcessMetrics(reg)
 		netout.RegisterMaterializerMetrics(reg, mat)
-		srv := &http.Server{Addr: *metricsAddr, Handler: netout.NewAdminMux(reg, slow)}
+		inflight.RegisterMetrics(reg)
+		srv := &http.Server{Addr: *metricsAddr, Handler: netout.NewAdminMux(reg, slow,
+			netout.AdminWithEventRing(ring),
+			netout.AdminWithInflight(inflight))}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
 		if !*quiet {
-			fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /debug/slow, /debug/pprof)\n", *metricsAddr)
+			fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /readyz, /debug/slow, /debug/events, /debug/requests, /debug/pprof)\n", *metricsAddr)
 		}
 	}
 
@@ -142,7 +178,9 @@ func main() {
 		netout.WithMaterializer(mat),
 		netout.WithCombination(comb),
 		netout.WithQueryParallelism(*parallelism),
-		netout.WithObs(reg, slow))
+		netout.WithObs(reg, slow),
+		netout.WithEventSink(events),
+		netout.WithInflight(inflight))
 
 	switch {
 	case *serveAddr != "":
@@ -158,7 +196,8 @@ func main() {
 		if err := runServe(g, serveConfig{
 			addr: *serveAddr, workers: *workers, maxQueue: *maxQueue, timeout: *timeout,
 			parallelism: *parallelism, measure: m, combine: comb, mat: mat,
-			reg: reg, slow: slow, quiet: *quiet,
+			reg: reg, slow: slow, events: events, ring: ring, inflight: inflight,
+			quiet: *quiet,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -326,7 +365,10 @@ func runOne(eng *netout.Engine, src string, timing bool) error {
 type jsonResult struct {
 	// RequestID is the serving layer's correlation ID (set in -serve mode,
 	// echoed from the X-Request-Id response header; empty for CLI output).
-	RequestID      string      `json:"request_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the W3C trace the query ran under (set in -serve mode,
+	// matching the traceparent response header; empty for CLI output).
+	TraceID        string      `json:"trace_id,omitempty"`
 	Entries        []jsonEntry `json:"entries"`
 	Partial        bool        `json:"partial,omitempty"`
 	Skipped        int         `json:"skipped"`

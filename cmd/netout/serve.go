@@ -44,6 +44,9 @@ type serveConfig struct {
 	mat         netout.Materializer
 	reg         *netout.MetricsRegistry
 	slow        *netout.SlowLog
+	events      netout.EventSink
+	ring        *netout.EventRing
+	inflight    *netout.Inflight
 	quiet       bool
 }
 
@@ -59,6 +62,8 @@ func runServe(g *netout.Graph, cfg serveConfig) error {
 		DefaultTimeout:   cfg.timeout,
 		Obs:              cfg.reg,
 		SlowLog:          cfg.slow,
+		Events:           cfg.events,
+		Inflight:         cfg.inflight,
 	})
 	if err != nil {
 		return err
@@ -68,7 +73,10 @@ func runServe(g *netout.Graph, cfg serveConfig) error {
 		fmt.Printf("serving queries on http://%s/query (max-queue %d, timeout %v; admin endpoints on the same address)\n",
 			cfg.addr, cfg.maxQueue, cfg.timeout)
 	}
-	return http.ListenAndServe(cfg.addr, serveHandler(pool, cfg.reg, cfg.slow))
+	return http.ListenAndServe(cfg.addr, serveHandler(pool, cfg.reg, cfg.slow,
+		netout.AdminWithReadiness(pool.Ready),
+		netout.AdminWithEventRing(cfg.ring),
+		netout.AdminWithInflight(cfg.inflight)))
 }
 
 // queryExecutor is the slice of ServePool the handler needs. The seam lets
@@ -90,16 +98,24 @@ type jsonError struct {
 }
 
 // serveHandler builds the serve-mode HTTP handler around an existing pool
-// (split from runServe so tests can drive it through httptest).
-func serveHandler(pool queryExecutor, reg *netout.MetricsRegistry, slow *netout.SlowLog) http.Handler {
-	mux := netout.NewAdminMux(reg, slow)
+// (split from runServe so tests can drive it through httptest). Admin
+// options configure the mux's optional surfaces (readiness, event ring,
+// in-flight table).
+func serveHandler(pool queryExecutor, reg *netout.MetricsRegistry, slow *netout.SlowLog, adminOpts ...netout.AdminOption) http.Handler {
+	mux := netout.NewAdminMux(reg, slow, adminOpts...)
 	const responsesHelp = "HTTP /query responses by status code."
-	countResponse := func(status int) {
+	const requestSecondsHelp = "HTTP /query request latency by status code."
+	recordResponse := func(status int, elapsed time.Duration) {
 		if reg != nil {
-			reg.Counter(`netout_http_responses_total{code="`+strconv.Itoa(status)+`"}`, responsesHelp).Inc()
+			code := strconv.Itoa(status)
+			reg.Counter(`netout_http_responses_total{code="`+code+`"}`, responsesHelp).Inc()
+			reg.Histogram(`netout_http_request_seconds{code="`+code+`"}`, requestSecondsHelp, nil).
+				Observe(elapsed.Seconds())
 		}
 	}
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		countResponse := func(status int) { recordResponse(status, time.Since(begin)) }
 		// Resolve the request ID first: every response — including the
 		// early 400s below — must be correlatable.
 		rid := r.Header.Get("X-Request-Id")
@@ -107,6 +123,17 @@ func serveHandler(pool queryExecutor, reg *netout.MetricsRegistry, slow *netout.
 			rid = netout.NewRequestID()
 		}
 		w.Header().Set("X-Request-Id", rid)
+		// Wire-ready trace propagation: adopt the caller's W3C traceparent
+		// when it parses (becoming a child span of theirs), mint a fresh
+		// trace otherwise, and echo this server's span back so the caller
+		// can parent us in its own trace view. The span context rides the
+		// request context into the engine's trace and wide event.
+		sc, ok := netout.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			sc = netout.SpanContext{TraceID: netout.NewTraceID()}
+		}
+		sc = sc.Child()
+		w.Header().Set("traceparent", sc.Traceparent())
 		writeError := func(status int, code netout.ErrorCode, msg string) {
 			countResponse(status)
 			var je jsonError
@@ -135,6 +162,7 @@ func serveHandler(pool queryExecutor, reg *netout.MetricsRegistry, slow *netout.
 			return
 		}
 		ctx := netout.ContextWithRequestID(r.Context(), rid)
+		ctx = netout.ContextWithSpanContext(ctx, sc)
 		res, err := pool.Execute(ctx, src)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -150,6 +178,7 @@ func serveHandler(pool queryExecutor, reg *netout.MetricsRegistry, slow *netout.
 		}
 		jr := jsonResult{
 			RequestID:      rid,
+			TraceID:        sc.TraceID,
 			Partial:        res.Partial,
 			Skipped:        len(res.Skipped),
 			CandidateCount: res.CandidateCount,

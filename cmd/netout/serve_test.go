@@ -15,30 +15,37 @@ import (
 
 // serveTestServer spins up the serve-mode handler over a small generated
 // graph, exactly as `netout -serve` wires it (shared registry between the
-// pool and the admin mux).
-func serveTestServer(t *testing.T) (*httptest.Server, *netout.ServePool) {
+// pool and the admin mux, event ring, in-flight table, readiness).
+func serveTestServer(t *testing.T) (*httptest.Server, *netout.ServePool, *netout.EventRing) {
 	t.Helper()
 	g := smallGraph(t)
 	reg := netout.NewMetricsRegistry()
 	slow := netout.NewSlowLog(4)
+	ring := netout.NewEventRing(16)
+	inflight := netout.NewInflight()
 	pool, err := netout.NewServePool(g, netout.ServeOptions{
 		Workers:        2,
 		MaxQueue:       4,
 		DefaultTimeout: 30 * time.Second,
 		Obs:            reg,
 		SlowLog:        slow,
+		Events:         ring,
+		Inflight:       inflight,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(pool.Close)
-	srv := httptest.NewServer(serveHandler(pool, reg, slow))
+	srv := httptest.NewServer(serveHandler(pool, reg, slow,
+		netout.AdminWithReadiness(pool.Ready),
+		netout.AdminWithEventRing(ring),
+		netout.AdminWithInflight(inflight)))
 	t.Cleanup(srv.Close)
-	return srv, pool
+	return srv, pool, ring
 }
 
 func TestServeHandlerQuery(t *testing.T) {
-	srv, _ := serveTestServer(t)
+	srv, _, _ := serveTestServer(t)
 	q := `FIND OUTLIERS FROM author{"Christos Hub"}.paper.author JUDGED BY author.paper.venue TOP 3;`
 
 	// Same query via ?q= and via POST body must both serve a full ranking.
@@ -75,7 +82,7 @@ func TestServeHandlerQuery(t *testing.T) {
 }
 
 func TestServeHandlerErrors(t *testing.T) {
-	srv, _ := serveTestServer(t)
+	srv, _, _ := serveTestServer(t)
 	for name, tc := range map[string]struct {
 		path, body string
 		want       int
@@ -98,7 +105,7 @@ func TestServeHandlerErrors(t *testing.T) {
 // The admin endpoints ride on the serve mux, and the pool's robustness
 // counters are present in the scrape after traffic.
 func TestServeHandlerAdminEndpoints(t *testing.T) {
-	srv, _ := serveTestServer(t)
+	srv, _, _ := serveTestServer(t)
 	q := `FIND OUTLIERS FROM author{"Christos Hub"}.paper.author JUDGED BY author.paper.venue TOP 3;`
 	resp, err := http.Post(srv.URL+"/query", "text/plain", strings.NewReader(q))
 	if err != nil {

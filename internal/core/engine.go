@@ -49,6 +49,12 @@ type Engine struct {
 	// histograms, outcome counters, vector counters) and slow-query entries.
 	obs  *obs.Registry
 	slow *obs.SlowLog
+	// events, when set via WithEventSink, receives one wide Event per
+	// completed query (ok, error, partial or recovered panic).
+	events obs.EventSink
+	// inflight, when set via WithInflight, tracks executing queries for the
+	// /debug/requests inspector.
+	inflight *obs.Inflight
 }
 
 // ctxErr reports the context error, if any (nil context never cancels).
@@ -90,6 +96,23 @@ func WithQueryParallelism(n int) Option {
 // argument may be nil. Queries always carry a Trace regardless.
 func WithObs(reg *obs.Registry, slow *obs.SlowLog) Option {
 	return func(e *Engine) { e.obs, e.slow = reg, slow }
+}
+
+// WithEventSink connects the engine to a wide-event journal: every completed
+// query (ok, error, partial or recovered panic) emits exactly one obs.Event
+// describing what it did — identity, configuration, per-phase costs, kernel
+// counts, outcome. nil disables emission. The sink must be safe for
+// concurrent use; emission is side-effect-free with respect to results, so
+// the pipeline's determinism contract is unaffected.
+func WithEventSink(s obs.EventSink) Option {
+	return func(e *Engine) { e.events = s }
+}
+
+// WithInflight registers every executing query in the given table for the
+// /debug/requests live inspector, deregistering on finish. nil disables
+// tracking.
+func WithInflight(t *obs.Inflight) Option {
+	return func(e *Engine) { e.inflight = t }
 }
 
 // NewEngine creates an engine over g with the given options.
@@ -198,10 +221,30 @@ func (e *Engine) ExecuteContext(ctx context.Context, src string) (*Result, error
 			e.obs.Counter(`netout_queries_total{outcome="error"}`, queriesHelp).Inc()
 			e.obs.Counter(`netout_query_errors_total{outcome="`+xerr.Outcome(err)+`"}`, errorsHelp).Inc()
 		}
+		// A parse failure never reaches executeQuery's observation defer, but
+		// the journal's contract is one event per completed query, including
+		// this kind: emit it here with the raw source (there is no *oql.Query
+		// to print) and a parse-only trace.
+		tr.EndPhase("parse", obs.SpanStats{})
+		trace := tr.Finish()
+		stampIdentity(ctx, trace)
+		e.emitEvent(ctx, trace, src, nil, err, nil)
 		return nil, err
 	}
 	tr.EndPhase("parse", obs.SpanStats{})
 	return e.executeQuery(ctx, q, tr)
+}
+
+// stampIdentity copies the request ID and span context carried by ctx onto
+// the sealed trace, linking it to the X-Request-Id and traceparent headers
+// the client saw.
+func stampIdentity(ctx context.Context, trace *obs.Trace) {
+	trace.RequestID = obs.RequestIDFrom(ctx)
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		trace.TraceID = sc.TraceID
+		trace.SpanID = sc.SpanID
+		trace.ParentSpanID = sc.ParentSpanID
+	}
 }
 
 const queriesHelp = "Queries executed by outcome (parse/validation failures and cancellations count as errors)."
@@ -212,9 +255,9 @@ const errorsHelp = "Query errors by taxonomy outcome (finer-grained companion to
 // registry and slow-query log. The serving layer's request ID, when ctx
 // carries one, is stamped onto the trace so the slow log and /debug/slow
 // are addressable by the X-Request-Id a client saw.
-func (e *Engine) observeQuery(ctx context.Context, tr *obs.Tracer, q *oql.Query, res *Result, err error) {
+func (e *Engine) observeQuery(ctx context.Context, tr *obs.Tracer, q *oql.Query, res *Result, err error, kernels map[string]int64) {
 	trace := tr.Finish()
-	trace.RequestID = obs.RequestIDFrom(ctx)
+	stampIdentity(ctx, trace)
 	if res != nil {
 		res.Trace = trace
 	}
@@ -261,6 +304,88 @@ func (e *Engine) observeQuery(ctx context.Context, tr *obs.Tracer, q *oql.Query,
 			e.slow.RecordFailure(q.String(), trace.Total, trace, err.Error(), xerr.StackOf(err))
 		}
 	}
+	e.emitEvent(ctx, trace, q.String(), res, err, kernels)
+}
+
+// emitEvent builds and emits the wide event for one completed query. The
+// event's durations and counters are read from the same sealed trace the
+// /metrics instruments observed, so the three views always agree.
+func (e *Engine) emitEvent(ctx context.Context, trace *obs.Trace, query string, res *Result, err error, kernels map[string]int64) {
+	if e.events == nil {
+		return
+	}
+	ev := &obs.Event{
+		Time:         time.Now(),
+		RequestID:    trace.RequestID,
+		TraceID:      trace.TraceID,
+		SpanID:       trace.SpanID,
+		ParentSpanID: trace.ParentSpanID,
+		Query:        obs.TruncateQuery(query),
+		Measure:      e.measure.String(),
+		Strategy:     e.mat.Strategy().String(),
+		Parallelism:  e.QueryParallelism(),
+		QueueWaitUs:  obs.QueueWaitFrom(ctx).Microseconds(),
+		TotalUs:      trace.Total.Microseconds(),
+		Kernels:      kernels,
+		Outcome:      xerr.Outcome(err),
+	}
+	for _, s := range trace.Spans {
+		ev.Phases = append(ev.Phases, obs.EventPhase{
+			Phase:            s.Phase,
+			DurationUs:       s.Duration.Microseconds(),
+			TraversedVectors: s.Stats.TraversedVectors,
+			IndexedVectors:   s.Stats.IndexedVectors,
+			CacheHits:        s.Stats.CacheHits,
+			CacheMisses:      s.Stats.CacheMisses,
+		})
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	if res != nil {
+		ev.Candidates = res.CandidateCount
+		ev.References = res.ReferenceCount
+		ev.Entries = len(res.Entries)
+		ev.Partial = res.Partial
+		if len(res.Entries) > 0 {
+			top := res.Entries[0].Score
+			ev.TopScore = &top
+		}
+	}
+	e.events.Emit(ev)
+}
+
+// kernelCountsOf reads the cumulative traversal-kernel counters behind a
+// materializer, when it owns a private traverser whose counters the
+// executing goroutine may read (baseline and PM/SPM). The shared cached
+// strategy is excluded: its state is touched by every pool worker and the
+// counters are not synchronized for cross-goroutine reads.
+func kernelCountsOf(m Materializer) (metapath.KernelCounts, bool) {
+	switch x := m.(type) {
+	case *baseline:
+		return x.tr.KernelCounts(), true
+	case *indexedMaterializer:
+		return x.tr.KernelCounts(), true
+	}
+	return metapath.KernelCounts{}, false
+}
+
+// kernelDelta maps the non-zero per-kernel hop deltas for an event.
+func kernelDelta(before, after metapath.KernelCounts) map[string]int64 {
+	out := make(map[string]int64, 3)
+	if d := after.Map - before.Map; d > 0 {
+		out["map"] = int64(d)
+	}
+	if d := after.Dense - before.Dense; d > 0 {
+		out["dense"] = int64(d)
+	}
+	if d := after.Merge - before.Merge; d > 0 {
+		out["merge"] = int64(d)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // ExecuteQuery runs a parsed query.
@@ -279,7 +404,31 @@ func (e *Engine) ExecuteQueryContext(ctx context.Context, q *oql.Query) (*Result
 // any) has already been recorded.
 func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer) (res *Result, err error) {
 	start := time.Now()
-	defer func() { e.observeQuery(ctx, tr, q, res, err) }()
+	// Live registration for the /debug/requests inspector. Deregistration is
+	// the first defer, so it runs last — after observation — and a panicking
+	// query still leaves the table.
+	var ifq *obs.InflightQuery
+	if e.inflight != nil {
+		traceID := ""
+		if sc, ok := obs.SpanContextFrom(ctx); ok {
+			traceID = sc.TraceID
+		}
+		ifq = e.inflight.Register(obs.RequestIDFrom(ctx), traceID, q.String())
+	}
+	defer e.inflight.Deregister(ifq)
+	// Kernel counters are snapshotted around execution when the materializer
+	// exposes them (see kernelCountsOf); the delta is computed inside the
+	// observation defer so recovered panics still report the work done.
+	kernelBefore, kernelTrack := kernelCountsOf(e.mat)
+	defer func() {
+		var kernels map[string]int64
+		if kernelTrack {
+			if after, ok := kernelCountsOf(e.mat); ok {
+				kernels = kernelDelta(kernelBefore, after)
+			}
+		}
+		e.observeQuery(ctx, tr, q, res, err, kernels)
+	}()
 	// Panic isolation (registered after observeQuery so it runs first and
 	// the observation sees the error): a panic anywhere in execution — the
 	// engine's own phases or a pipeline worker's re-raised chunk failure —
@@ -292,10 +441,12 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	ifq.SetPhase("validate")
 	if _, err := oql.Validate(q, e.g.Schema()); err != nil {
 		return nil, err
 	}
 	tr.EndPhase("validate", obs.SpanStats{})
+	ifq.SetPhase("plan")
 
 	// Plan: resolve the candidate/reference sets and the feature meta-paths.
 	setStart := time.Now()
@@ -324,8 +475,9 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 	}
 	res.Timing.SetRetrieval = time.Since(setStart)
 	tr.EndPhase("plan", obs.SpanStats{})
+	ifq.SetPhase("materialize")
 
-	plan := &queryPlan{q: q, cands: cands, refs: refs, paths: paths, weights: weights}
+	plan := &queryPlan{q: q, cands: cands, refs: refs, paths: paths, weights: weights, ifq: ifq}
 	if ws, ok := e.pipelineWorkers(len(cands)); ok {
 		err := e.executeParallel(ctx, plan, res, tr, ws)
 		e.releaseWorkers(ws)
@@ -395,6 +547,7 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 	// Combine across paths (Section 5.1 leaves the method open and names
 	// two: independent per-path scores averaged, or connectivity redefined
 	// over combined vectors).
+	ifq.SetPhase("score")
 	scoreStart := time.Now()
 	combined := make([]float64, len(cands))
 	seen := make([]bool, len(cands)) // candidate characterized by ≥1 path
@@ -436,6 +589,7 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 		}
 	}
 	tr.EndPhase("score", obs.SpanStats{})
+	ifq.SetPhase("rank")
 
 	sel := newTopSelector(q.TopK)
 	for i, v := range cands {

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/obs"
+	"netout/internal/oql"
+)
+
+func mustParse(t *testing.T, src string) *oql.Query {
+	t.Helper()
+	q, err := oql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestExactlyOneEventPerQuery is the journal's core contract: every completed
+// query — ok, parse failure, plan failure, recovered panic, deadline-degraded
+// partial — produces exactly one wide event with the right outcome.
+func TestExactlyOneEventPerQuery(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(41)))
+	ring := obs.NewEventRing(16)
+	reg := obs.NewRegistry()
+	eng := NewEngine(g, WithObs(reg, nil), WithEventSink(ring), WithInflight(obs.NewInflight()))
+
+	emitted := 0
+	expectOne := func(label, wantOutcome string, wantPartial bool) *obs.Event {
+		t.Helper()
+		emitted++
+		evs := ring.Snapshot()
+		if len(evs) != emitted {
+			t.Fatalf("%s: journal has %d events, want %d (exactly one per query)", label, len(evs), emitted)
+		}
+		ev := evs[0] // most recent first
+		if ev.Outcome != wantOutcome || ev.Partial != wantPartial {
+			t.Fatalf("%s: outcome=%q partial=%v, want %q/%v (err=%q)", label, ev.Outcome, ev.Partial, wantOutcome, wantPartial, ev.Error)
+		}
+		if wantOutcome != "ok" && ev.Error == "" {
+			t.Fatalf("%s: failure event carries no error text", label)
+		}
+		return ev
+	}
+
+	// ok
+	if _, err := eng.Execute(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	ev := expectOne("ok", "ok", false)
+	// Parsed queries journal their canonical String() form.
+	if ev.Query != mustParse(t, faultQuery).String() || ev.Entries == 0 || ev.TopScore == nil {
+		t.Fatalf("ok event incomplete: %+v", ev)
+	}
+
+	// parse failure (never reaches executeQuery)
+	if _, err := eng.Execute("THIS IS NOT OQL;"); err == nil {
+		t.Fatal("parse should fail")
+	}
+	ev = expectOne("parse", "invalid", false)
+	if ev.Query != "THIS IS NOT OQL;" {
+		t.Fatalf("parse event lost the raw source: %q", ev.Query)
+	}
+	if len(ev.Phases) != 1 || ev.Phases[0].Phase != "parse" {
+		t.Fatalf("parse event phases = %+v, want a lone parse span", ev.Phases)
+	}
+
+	// plan failure (unknown author dies in EvalSet)
+	if _, err := eng.Execute(`FIND OUTLIERS FROM author{"No Such Author"} JUDGED BY author.paper.venue;`); err == nil {
+		t.Fatal("plan should fail")
+	}
+	expectOne("plan", "not_found", false)
+
+	// recovered panic
+	fm := &faultMat{inner: NewBaseline(g), hook: fireOnce("journal panic probe")}
+	engPanic := NewEngine(g, WithMaterializer(fm), WithEventSink(ring))
+	if _, err := engPanic.Execute(faultQuery); !IsPanicError(err) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	ev = expectOne("panic", "internal", false)
+	if !strings.Contains(ev.Error, "journal panic probe") {
+		t.Fatalf("panic event error = %q", ev.Error)
+	}
+
+	// deadline-degraded partial (err == nil, Partial == true)
+	cands, err := eng.CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(cands)
+	res, err := eng.ExecuteContext(newDeadlineAfter(int64(1+nA+nA/2)), faultQuery)
+	if err != nil || !res.Partial {
+		t.Fatalf("degradation setup: err=%v partial=%v", err, res != nil && res.Partial)
+	}
+	ev = expectOne("partial", "ok", true)
+	if ev.Candidates != nA {
+		t.Fatalf("partial event candidates = %d, want full |Sc| %d", ev.Candidates, nA)
+	}
+
+	// The pre-parsed entry point journals too.
+	if _, err := eng.ExecuteQuery(mustParse(t, faultQuery)); err != nil {
+		t.Fatal(err)
+	}
+	expectOne("pre-parsed", "ok", false)
+}
+
+// TestEventAgreesWithTraceAndMetrics pins the three views of one query — the
+// wide event, the Result's trace, and the /metrics scrape — to each other.
+func TestEventAgreesWithTraceAndMetrics(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(43)))
+	ring := obs.NewEventRing(8)
+	reg := obs.NewRegistry()
+	slow := obs.NewSlowLog(4)
+	eng := NewEngine(g, WithObs(reg, slow), WithEventSink(ring))
+
+	ctx := obs.WithRequestID(context.Background(), "rid-evt")
+	sc := obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), ParentSpanID: obs.NewSpanID()}
+	ctx = obs.WithSpanContext(ctx, sc)
+	ctx = obs.WithQueueWait(ctx, 5*time.Millisecond)
+	res, err := eng.ExecuteContext(ctx, faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := ring.Snapshot()[0]
+
+	// Identity propagated from the context.
+	if ev.RequestID != "rid-evt" || ev.TraceID != sc.TraceID || ev.SpanID != sc.SpanID || ev.ParentSpanID != sc.ParentSpanID {
+		t.Fatalf("event identity = %+v, want ctx's rid/span context", ev)
+	}
+	if res.Trace.TraceID != sc.TraceID || res.Trace.RequestID != "rid-evt" {
+		t.Fatalf("trace identity = rid %q trace %q", res.Trace.RequestID, res.Trace.TraceID)
+	}
+	if ev.QueueWaitUs != (5 * time.Millisecond).Microseconds() {
+		t.Fatalf("QueueWaitUs = %d, want 5000", ev.QueueWaitUs)
+	}
+
+	// Durations and counters are read from the same sealed trace.
+	if ev.TotalUs != res.Trace.Total.Microseconds() {
+		t.Fatalf("event total %dus != trace total %v", ev.TotalUs, res.Trace.Total)
+	}
+	if len(ev.Phases) != len(res.Trace.Spans) {
+		t.Fatalf("event has %d phases, trace has %d spans", len(ev.Phases), len(res.Trace.Spans))
+	}
+	for i, s := range res.Trace.Spans {
+		p := ev.Phases[i]
+		if p.Phase != s.Phase || p.DurationUs != s.Duration.Microseconds() ||
+			p.TraversedVectors != s.Stats.TraversedVectors || p.IndexedVectors != s.Stats.IndexedVectors {
+			t.Fatalf("phase %d: event %+v vs span %+v", i, p, s)
+		}
+	}
+
+	// Result-shaped fields.
+	if ev.Candidates != res.CandidateCount || ev.References != res.ReferenceCount || ev.Entries != len(res.Entries) {
+		t.Fatalf("event counts %d/%d/%d vs result %d/%d/%d",
+			ev.Candidates, ev.References, ev.Entries,
+			res.CandidateCount, res.ReferenceCount, len(res.Entries))
+	}
+	if ev.TopScore == nil || *ev.TopScore != res.Entries[0].Score {
+		t.Fatalf("event top score = %v, want %v", ev.TopScore, res.Entries[0].Score)
+	}
+	if ev.Measure != eng.Measure().String() || ev.Strategy != eng.Materializer().Strategy().String() || ev.Parallelism != eng.QueryParallelism() {
+		t.Fatalf("event config = %s/%s/%d", ev.Measure, ev.Strategy, ev.Parallelism)
+	}
+
+	// The baseline materializer exposes kernel counters: per-hop work must be
+	// attributed, and the traversed vectors agree with the trace.
+	if len(ev.Kernels) == 0 {
+		t.Fatalf("event has no kernel counts under the baseline materializer")
+	}
+	var kernelSum int64
+	for _, n := range ev.Kernels {
+		kernelSum += n
+	}
+	matSpan, _ := res.Trace.Span("materialize")
+	// Every traversed vector takes at least one kernel hop (2-segment paths
+	// take two), so the hop count bounds the vector count from above.
+	if kernelSum < matSpan.Stats.TraversedVectors {
+		t.Fatalf("kernel hops %d < traversed vectors %d", kernelSum, matSpan.Stats.TraversedVectors)
+	}
+
+	// /metrics deltas agree with the journal.
+	srv := httptest.NewServer(obs.NewAdminMux(reg, slow, obs.WithEventRing(ring)))
+	defer srv.Close()
+	m := scrapeMetrics(t, srv.URL+"/metrics")
+	if m[`netout_queries_total{outcome="ok"}`] != 1 || m["netout_query_seconds_count"] != 1 {
+		t.Fatalf("metrics disagree with the single journaled query: %v", m)
+	}
+	if m["netout_vectors_traversed_total"] != float64(matSpan.Stats.TraversedVectors) {
+		t.Fatalf("scraped traversed vectors %v != trace's %d",
+			m["netout_vectors_traversed_total"], matSpan.Stats.TraversedVectors)
+	}
+}
+
+// TestPipelineDeterminismWithJournal re-checks the pipeline's bit-identical
+// contract with the journal and the inflight table attached: observability
+// must never touch results.
+func TestPipelineDeterminismWithJournal(t *testing.T) {
+	g := bigBibGraph(rand.New(rand.NewSource(47)))
+	want, err := NewEngine(g, WithQueryParallelism(1)).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		ring := obs.NewEventRing(8)
+		eng := NewEngine(g, WithQueryParallelism(par),
+			WithEventSink(ring), WithInflight(obs.NewInflight()))
+		got, err := eng.Execute(faultQuery)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("parallelism %d: results diverge with the journal enabled", par)
+		}
+		evs := ring.Snapshot()
+		if len(evs) != 1 || evs[0].Outcome != "ok" || evs[0].Parallelism != par {
+			t.Fatalf("parallelism %d: journal = %+v", par, evs)
+		}
+	}
+}
+
+// TestInflightVisibleMidExecution blocks a query inside its materialize phase
+// via fault injection and asserts the live inspector sees it: /debug/requests
+// lists the query with its phase and identity, and the gauge reads 1.
+func TestInflightVisibleMidExecution(t *testing.T) {
+	g := bigBibGraph(rand.New(rand.NewSource(53)))
+	gate := make(chan struct{})
+	var entered atomic.Int64
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		if entered.Add(1) == 1 {
+			<-gate // stall the first load until the inspector has looked
+		}
+	}}
+	tab := obs.NewInflight()
+	reg := obs.NewRegistry()
+	tab.RegisterMetrics(reg)
+	eng := NewEngine(g, WithMaterializer(fm), WithInflight(tab), WithObs(reg, nil))
+
+	srv := httptest.NewServer(obs.NewAdminMux(reg, nil, obs.WithInflight(tab)))
+	defer srv.Close()
+
+	ctx := obs.WithRequestID(context.Background(), "rid-stuck")
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.ExecuteContext(ctx, faultQuery)
+		done <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); entered.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("query never reached the stalled load")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stuck query is visible with its identity and phase.
+	resp, err := http.Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{"in-flight queries: 1", "rid=rid-stuck", "FIND OUTLIERS", "phase materialize"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/requests missing %q:\n%s", want, body)
+		}
+	}
+	m := scrapeMetrics(t, srv.URL+"/metrics")
+	if m["netout_inflight_queries"] != 1 {
+		t.Fatalf("inflight gauge = %v, want 1", m["netout_inflight_queries"])
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Finished queries leave the table (and the gauge).
+	if tab.Len() != 0 {
+		t.Fatalf("table not drained after completion: %d", tab.Len())
+	}
+	resp, err = http.Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); !strings.Contains(body, "none") {
+		t.Fatalf("/debug/requests still lists queries:\n%s", body)
+	}
+}
+
+// TestInflightChunkProgressUnderPipeline drives the parallel path with a
+// chunked candidate phase and checks the record accumulates chunk progress.
+func TestInflightChunkProgressUnderPipeline(t *testing.T) {
+	g := bigBibGraph(rand.New(rand.NewSource(59)))
+	tab := obs.NewInflight()
+	var maxTotal atomic.Int64
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		for _, row := range tab.Snapshot() {
+			if row.ChunksTotal > maxTotal.Load() {
+				maxTotal.Store(row.ChunksTotal)
+			}
+		}
+	}}
+	eng := NewEngine(g, WithMaterializer(fm), WithQueryParallelism(4), WithInflight(tab))
+	if _, err := eng.Execute(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	// bigBibGraph has >128 candidates, so the chunked phase announced >1 chunk.
+	if maxTotal.Load() < 2 {
+		t.Fatalf("chunk progress never announced multiple chunks (max total %d)", maxTotal.Load())
+	}
+}
+
+// TestServePoolEmitsEventsWithQueueWait checks the serving integration: pool
+// queries journal through ServeOptions.Events with the queue wait attached,
+// and the serve histograms appear in the scrape.
+func TestServePoolEmitsEventsWithQueueWait(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(61)))
+	ring := obs.NewEventRing(8)
+	reg := obs.NewRegistry()
+	tab := obs.NewInflight()
+	pool, err := NewServePool(g, ServeOptions{
+		Workers: 2, Materializer: NewBaseline(g), Obs: reg,
+		Events: ring, Inflight: tab,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.Ready(); err != nil {
+		t.Fatalf("open pool not ready: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		ctx := obs.WithRequestID(context.Background(), fmt.Sprintf("rid-%d", i))
+		if _, err := pool.Execute(ctx, faultQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := ring.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("journal has %d events, want 3", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Outcome != "ok" || !strings.HasPrefix(ev.RequestID, "rid-") {
+			t.Fatalf("pool event = %+v", ev)
+		}
+		if ev.QueueWaitUs < 0 {
+			t.Fatalf("negative queue wait %d", ev.QueueWaitUs)
+		}
+	}
+	srv := httptest.NewServer(obs.NewAdminMux(reg, nil))
+	defer srv.Close()
+	m := scrapeMetrics(t, srv.URL+"/metrics")
+	if m["netout_serve_queue_seconds_count"] != 3 || m["netout_serve_execute_seconds_count"] != 3 {
+		t.Fatalf("serve histograms = queue %v / execute %v, want 3 observations each",
+			m["netout_serve_queue_seconds_count"], m["netout_serve_execute_seconds_count"])
+	}
+	// Closing flips readiness while the process stays alive.
+	pool.Close()
+	if err := pool.Ready(); err == nil {
+		t.Fatal("closed pool still reports ready")
+	}
+}

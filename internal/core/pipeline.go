@@ -50,6 +50,9 @@ type queryPlan struct {
 	refs    []hin.VertexID
 	paths   []metapath.Path
 	weights []float64
+	// ifq is the query's live in-flight record for phase and chunk-progress
+	// updates (nil when no inspector is attached; all mutators are nil-safe).
+	ifq *obs.InflightQuery
 }
 
 // pipeWorker is one pipeline worker's private state.
@@ -176,6 +179,11 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 	for m := range refPerPath {
 		refPerPath[m] = make([]sparse.Vector, len(refs))
 	}
+	// The inspector's chunk progress resets per chunked phase: a reader sees
+	// "materialize:refs 3/7" then "materialize 12/40". Updates touch only the
+	// record's atomics — never the result — so determinism is unaffected.
+	plan.ifq.SetPhase("materialize:refs")
+	plan.ifq.StartChunks((len(refs)+parallelChunk-1)/parallelChunk, len(ws))
 	err := runChunks(ws, len(refs), func(w *pipeWorker, lo, hi int) error {
 		for m := range paths {
 			for j := lo; j < hi; j++ {
@@ -189,6 +197,7 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 				refPerPath[m][j] = vec
 			}
 		}
+		plan.ifq.ChunkDone()
 		return nil
 	})
 	if err != nil {
@@ -233,6 +242,8 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 	// is separable per candidate) and form the partial result.
 	nChunks := (len(cands) + parallelChunk - 1) / parallelChunk
 	chunkDone := make([]bool, nChunks)
+	plan.ifq.SetPhase("materialize")
+	plan.ifq.StartChunks(nChunks, len(ws))
 	err = runChunks(ws, len(cands), func(w *pipeWorker, lo, hi int) error {
 		for m := range paths {
 			buf := w.vecs[m][:0]
@@ -252,6 +263,7 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 		w.scoreChunk(e, plan, concatRS, pathRS, stride, seen, lo, hi)
 		w.scoreNs += time.Since(start).Nanoseconds()
 		chunkDone[lo/parallelChunk] = true
+		plan.ifq.ChunkDone()
 		return nil
 	})
 	if err != nil {
@@ -286,6 +298,7 @@ func (e *Engine) executeParallel(ctx context.Context, plan *queryPlan, res *Resu
 	// Scoring ran fused inside the materialize span; keep the phase sequence
 	// intact with an empty score span.
 	tr.EndPhase("score", obs.SpanStats{})
+	plan.ifq.SetPhase("rank")
 
 	rankStart := time.Now()
 	sel := ws[0].sel

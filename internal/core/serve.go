@@ -52,6 +52,13 @@ type ServePool struct {
 	timeouts  atomic.Int64
 	partials  atomic.Int64
 	canceled  atomic.Int64
+
+	// queueHist and execHist are per-query latency distributions, set when
+	// the pool has a registry. They exist ALONGSIDE the *_seconds_total
+	// CounterFuncs above, which keep their exact ServeStats correspondence;
+	// the histograms add the shape (quantiles) the totals cannot express.
+	queueHist *obs.Histogram
+	execHist  *obs.Histogram
 }
 
 // ServeOptions configures NewServePool.
@@ -101,6 +108,14 @@ type ServeOptions struct {
 	Obs *obs.Registry
 	// SlowLog, if set, retains the pool's slowest queries with their traces.
 	SlowLog *obs.SlowLog
+	// Events, if set, receives one wide obs.Event per completed query from
+	// every worker engine (see WithEventSink). The sink must be safe for
+	// concurrent use — workers emit concurrently.
+	Events obs.EventSink
+	// Inflight, if set, tracks every executing query for the
+	// /debug/requests inspector; its gauge is registered on Obs when both
+	// are present.
+	Inflight *obs.Inflight
 }
 
 // ServeStats summarizes a pool's lifetime traffic.
@@ -186,7 +201,9 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 			WithCombination(opts.Combination),
 			WithMaterializer(mat),
 			WithQueryParallelism(queryPar),
-			WithObs(opts.Obs, opts.SlowLog))
+			WithObs(opts.Obs, opts.SlowLog),
+			WithEventSink(opts.Events),
+			WithInflight(opts.Inflight))
 	}
 	maxQueue := opts.MaxQueue
 	if maxQueue < 0 {
@@ -209,6 +226,9 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 		if opts.Materializer != nil {
 			RegisterMaterializerMetrics(opts.Obs, opts.Materializer)
 		}
+		if opts.Inflight != nil {
+			opts.Inflight.RegisterMetrics(opts.Obs)
+		}
 	}
 	for _, eng := range engines {
 		p.wg.Add(1)
@@ -227,15 +247,26 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 // forever on a background context) and the worker survives to take the next
 // job, so one hostile query cannot shrink pool capacity.
 func (p *ServePool) serveJob(eng *Engine, job serveJob) {
-	p.queueNs.Add(time.Since(job.enqueued).Nanoseconds())
+	wait := time.Since(job.enqueued)
+	p.queueNs.Add(wait.Nanoseconds())
+	if p.queueHist != nil {
+		p.queueHist.Observe(wait.Seconds())
+	}
+	// The wait rides the context into the engine so the query's wide event
+	// reports how long it sat in the queue before a worker picked it up.
+	ctx := obs.WithQueueWait(job.ctx, wait)
 	start := time.Now()
 	var res *Result
 	err := func() (err error) {
 		defer recoverAsError(&err)
-		res, err = eng.ExecuteContext(job.ctx, job.src)
+		res, err = eng.ExecuteContext(ctx, job.src)
 		return err
 	}()
-	p.executeNs.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	p.executeNs.Add(elapsed.Nanoseconds())
+	if p.execHist != nil {
+		p.execHist.Observe(elapsed.Seconds())
+	}
 	if err != nil {
 		res = nil
 		p.failed.Add(1)
@@ -366,6 +397,23 @@ func (p *ServePool) registerMetrics(reg *obs.Registry, workers int) {
 		func() float64 { return float64(p.partials.Load()) })
 	reg.CounterFunc("netout_serve_canceled_total", "Queries aborted by caller cancellation (not timeouts).",
 		func() float64 { return float64(p.canceled.Load()) })
+	p.queueHist = reg.Histogram("netout_serve_queue_seconds",
+		"Per-query time spent waiting for a free worker.", nil)
+	p.execHist = reg.Histogram("netout_serve_execute_seconds",
+		"Per-query worker execution time.", nil)
+}
+
+// Ready reports whether the pool can accept queries: nil while open,
+// ErrPoolClosed once Close has begun. It is the readiness source behind
+// /readyz (obs.WithReadiness) — a draining replica stays alive for /healthz
+// while telling the load balancer to route elsewhere.
+func (p *ServePool) Ready() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the pool's traffic counters.

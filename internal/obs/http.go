@@ -1,24 +1,62 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 )
 
+// adminConfig collects the optional surfaces an admin mux can expose.
+type adminConfig struct {
+	ready    func() error
+	events   *EventRing
+	inflight *Inflight
+}
+
+// AdminOption configures optional admin-mux surfaces.
+type AdminOption func(*adminConfig)
+
+// WithReadiness installs a readiness check behind /readyz: nil means ready
+// (200), an error means not ready (503 with the error text). Liveness
+// (/healthz) is unaffected — a draining process is alive but not ready.
+func WithReadiness(check func() error) AdminOption {
+	return func(c *adminConfig) { c.ready = check }
+}
+
+// WithEventRing serves the ring's retained wide events as JSON at
+// /debug/events, most recent first.
+func WithEventRing(ring *EventRing) AdminOption {
+	return func(c *adminConfig) { c.events = ring }
+}
+
+// WithInflight serves the live in-flight query table at /debug/requests
+// (text by default, JSON with Accept: application/json or ?format=json).
+func WithInflight(t *Inflight) AdminOption {
+	return func(c *adminConfig) { c.inflight = t }
+}
+
 // NewAdminMux builds the serving admin endpoint:
 //
-//	/metrics      Prometheus text exposition of reg
-//	/healthz      liveness probe (200 "ok")
-//	/debug/slow   the slow-query log, slowest first (may be nil)
-//	/debug/pprof  the standard net/http/pprof handlers
+//	/metrics         Prometheus text exposition of reg
+//	/healthz         liveness probe (200 "ok")
+//	/readyz          readiness probe (503 while not ready; see WithReadiness)
+//	/debug/slow      the slow-query log, slowest first (may be nil)
+//	/debug/events    recent wide query events as JSON (see WithEventRing)
+//	/debug/requests  currently executing queries (see WithInflight)
+//	/debug/pprof     the standard net/http/pprof handlers
 //
-// Mount it on a loopback or otherwise access-controlled address — pprof and
-// the slow log (which echoes query text) are operator surfaces, not public
-// ones.
-func NewAdminMux(reg *Registry, slow *SlowLog) *http.ServeMux {
+// Mount it on a loopback or otherwise access-controlled address — pprof, the
+// slow log and the event journal (which echo query text) are operator
+// surfaces, not public ones.
+func NewAdminMux(reg *Registry, slow *SlowLog, opts ...AdminOption) *http.ServeMux {
+	var cfg adminConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -26,6 +64,21 @@ func NewAdminMux(reg *Registry, slow *SlowLog) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// No check configured means nothing to drain: always ready. A closed
+		// ServePool reports an error here while /healthz keeps answering 200,
+		// so a load balancer stops routing without the orchestrator killing
+		// the process mid-drain.
+		if cfg.ready != nil {
+			if err := cfg.ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
@@ -36,6 +89,33 @@ func NewAdminMux(reg *Registry, slow *SlowLog) *http.ServeMux {
 		}
 		fmt.Fprint(w, slow.Format())
 	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.events == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "event journal: not configured")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(cfg.events.Snapshot())
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.inflight == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "in-flight table: not configured")
+			return
+		}
+		if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(cfg.inflight.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, cfg.inflight.Format())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -44,18 +124,41 @@ func NewAdminMux(reg *Registry, slow *SlowLog) *http.ServeMux {
 	return mux
 }
 
+// memStatsTTL bounds how often a metrics scrape may trigger
+// runtime.ReadMemStats, which stops the world. Aggressive scrapers (or
+// several scrapers sharing one process) otherwise turn monitoring into a
+// latency source.
+const memStatsTTL = time.Second
+
+// cachedMemStats serves MemStats reads from a TTL cache.
+type cachedMemStats struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	ttl  time.Duration
+	read func(*runtime.MemStats) // swappable for tests
+}
+
+func (c *cachedMemStats) heapInuse() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) >= c.ttl {
+		c.read(&c.ms)
+		c.at = time.Now()
+	}
+	return float64(c.ms.HeapInuse)
+}
+
 // RegisterProcessMetrics adds process-level gauges (uptime, goroutine
-// count, heap in use) to reg, read at scrape time.
+// count, heap in use) to reg, read at scrape time. The MemStats read is
+// cached for a short TTL so scrapes don't stop the world.
 func RegisterProcessMetrics(reg *Registry) {
 	start := time.Now()
+	cache := &cachedMemStats{ttl: memStatsTTL, read: runtime.ReadMemStats}
 	reg.GaugeFunc("process_uptime_seconds", "Seconds since the process registered metrics.",
 		func() float64 { return time.Since(start).Seconds() })
 	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("go_heap_inuse_bytes", "Bytes of heap memory in use.",
-		func() float64 {
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			return float64(ms.HeapInuse)
-		})
+		cache.heapInuse)
 }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInflightRegisterDeregister(t *testing.T) {
+	tab := NewInflight()
+	if tab.Len() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	q1 := tab.Register("rid-1", "trace-1", "FIND OUTLIERS;")
+	q2 := tab.Register("", "", "FIND OTHERS;")
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if q1.Phase() != "start" {
+		t.Fatalf("initial phase = %q, want start", q1.Phase())
+	}
+	rows := tab.Snapshot()
+	if len(rows) != 2 || rows[0].ID >= rows[1].ID {
+		t.Fatalf("snapshot not oldest-first: %+v", rows)
+	}
+	if rows[0].RequestID != "rid-1" || rows[0].TraceID != "trace-1" {
+		t.Fatalf("identity lost: %+v", rows[0])
+	}
+	tab.Deregister(q1)
+	if tab.Len() != 1 {
+		t.Fatalf("Len after deregister = %d, want 1", tab.Len())
+	}
+	// Double-deregister must not double-decrement.
+	tab.Deregister(q1)
+	if tab.Len() != 1 {
+		t.Fatalf("Len after double deregister = %d, want 1", tab.Len())
+	}
+	tab.Deregister(q2)
+	if tab.Len() != 0 {
+		t.Fatalf("Len after draining = %d, want 0", tab.Len())
+	}
+}
+
+func TestInflightNilSafety(t *testing.T) {
+	// All of these are the "observability disabled" path: no panics allowed.
+	var q *InflightQuery
+	q.SetPhase("score")
+	q.StartChunks(4, 2)
+	q.ChunkDone()
+	var tab *Inflight
+	tab.Deregister(nil)
+	NewInflight().Deregister(nil)
+}
+
+func TestInflightPhaseAndChunkProgress(t *testing.T) {
+	tab := NewInflight()
+	q := tab.Register("", "", "FIND OUTLIERS;")
+	q.SetPhase("materialize")
+	q.StartChunks(5, 3)
+	q.ChunkDone()
+	q.ChunkDone()
+	row := tab.Snapshot()[0]
+	if row.Phase != "materialize" || row.ChunksDone != 2 || row.ChunksTotal != 5 || row.Workers != 3 {
+		t.Fatalf("row = %+v, want materialize 2/5 on 3 workers", row)
+	}
+	// A new chunked phase resets progress.
+	q.SetPhase("rank")
+	q.StartChunks(2, 3)
+	if done, total, _ := q.Progress(); done != 0 || total != 2 {
+		t.Fatalf("progress after reset = %d/%d, want 0/2", done, total)
+	}
+}
+
+func TestInflightQueryTextCapped(t *testing.T) {
+	tab := NewInflight()
+	q := tab.Register("", "", strings.Repeat("y", MaxQueryText*2))
+	if len(q.Query) > MaxQueryText+len("...(truncated)") {
+		t.Fatalf("registered query not capped: %d bytes", len(q.Query))
+	}
+}
+
+func TestInflightFormat(t *testing.T) {
+	tab := NewInflight()
+	if got := tab.Format(); !strings.Contains(got, "none") {
+		t.Fatalf("empty table format = %q", got)
+	}
+	q := tab.Register("rid-9", "trace-9", "FIND OUTLIERS FROM author;")
+	q.SetPhase("score")
+	q.StartChunks(8, 4)
+	got := tab.Format()
+	for _, want := range []string{
+		"in-flight queries: 1", "phase score", "chunks 0/8 on 4 workers",
+		"rid=rid-9", "trace=trace-9", "FIND OUTLIERS FROM author;",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format() missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInflightMetricsGauge(t *testing.T) {
+	tab := NewInflight()
+	reg := NewRegistry()
+	tab.RegisterMetrics(reg)
+	tab.RegisterMetrics(reg) // idempotent
+	q := tab.Register("", "", "FIND OUTLIERS;")
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "netout_inflight_queries 1") {
+		t.Fatalf("gauge missing or wrong:\n%s", sb.String())
+	}
+	tab.Deregister(q)
+	sb.Reset()
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "netout_inflight_queries 0") {
+		t.Fatalf("gauge did not drop to 0:\n%s", sb.String())
+	}
+}
+
+func TestInflightConcurrent(t *testing.T) {
+	tab := NewInflight()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := tab.Register("rid", "trace", "FIND OUTLIERS;")
+				q.SetPhase("materialize")
+				q.StartChunks(4, 2)
+				q.ChunkDone()
+				tab.Snapshot()
+				tab.Deregister(q)
+			}
+		}()
+	}
+	// Concurrent readers race the writers on purpose (-race is the check).
+	for i := 0; i < 50; i++ {
+		tab.Format()
+		tab.Len()
+	}
+	wg.Wait()
+	if tab.Len() != 0 {
+		t.Fatalf("table not drained: %d", tab.Len())
+	}
+}

@@ -201,11 +201,164 @@ func splitName(name string) (family, labels string) {
 	return name, ""
 }
 
+// ---------------------------------------------------------------------------
+// Name and label hygiene
+//
+// Metric names are built by string concatenation throughout the codebase
+// (`netout_query_phase_seconds{phase="` + s.Phase + `"}`), so a label value
+// containing `"`, `\` or a newline would otherwise corrupt the whole
+// /metrics exposition. Registration therefore validates structure — family
+// and label NAMES are compile-time constants here, so malformed ones panic
+// as programming errors — and canonicalizes label VALUES, escaping whatever
+// dynamic content reached them.
+
+func isValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func isValidLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue escapes `\`, `"` and newlines per the exposition format.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes `\` and newlines in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// canonicalLabels parses a label body (`k="v",k2="v2"`) and re-serializes it
+// with every value properly escaped. The scan is escape-aware: `\x` pairs
+// belong to the value, and a `"` counts as the closing quote only at the end
+// of the body or before a `,` — so raw quotes and newlines in a dynamic
+// value are recovered and escaped instead of corrupting the exposition.
+// Structurally malformed bodies (bad label name, missing `="` or closing
+// quote) panic: the structure is always a code literal, so that is a
+// programming error caught at registration, like a kind mismatch.
+func canonicalLabels(name, body string) string {
+	if body == "" {
+		return ""
+	}
+	var out []string
+	i := 0
+	for i < len(body) {
+		j := i
+		for j < len(body) && body[j] != '=' {
+			j++
+		}
+		lname := body[i:j]
+		if !isValidLabelName(lname) || j+1 >= len(body) || body[j+1] != '"' {
+			panic(fmt.Sprintf("obs: metric %q has malformed label %q", name, body))
+		}
+		k := j + 2
+		var val strings.Builder
+		closed := false
+		for k < len(body) {
+			c := body[k]
+			if c == '\\' && k+1 < len(body) {
+				switch body[k+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(body[k+1])
+				}
+				k += 2
+				continue
+			}
+			if c == '"' && (k+1 == len(body) || body[k+1] == ',') {
+				closed = true
+				k++
+				break
+			}
+			val.WriteByte(c)
+			k++
+		}
+		if !closed {
+			panic(fmt.Sprintf("obs: metric %q has unterminated label value in %q", name, body))
+		}
+		out = append(out, lname+`="`+escapeLabelValue(val.String())+`"`)
+		i = k
+		if i < len(body) {
+			if body[i] != ',' {
+				panic(fmt.Sprintf("obs: metric %q has malformed label body %q", name, body))
+			}
+			i++
+		}
+	}
+	return strings.Join(out, ",")
+}
+
 // register returns the existing metric under name (panicking if it has a
 // different kind — mixing types under one name is a programming error, like
 // expvar) or creates it with mk.
 func (r *Registry) register(name, help string, kind metricKind, mk func(m *metric)) *metric {
 	family, labels := splitName(name)
+	if !isValidMetricName(family) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	labels = canonicalLabels(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.metrics[name]; ok {
@@ -328,7 +481,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, m := range ms {
 		if m.family != lastFamily {
 			if m.help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help)
+				fmt.Fprintf(w, "# HELP %s %s\n", m.family, escapeHelp(m.help))
 			}
 			fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind.promType())
 			lastFamily = m.family

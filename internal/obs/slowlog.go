@@ -12,7 +12,7 @@ import (
 type SlowEntry struct {
 	// When is the query's completion time.
 	When time.Time
-	// Query is the OQL source text.
+	// Query is the OQL source text, capped at MaxQueryText.
 	Query string
 	// RequestID is the serving layer's correlation ID ("" outside serving).
 	RequestID string
@@ -60,7 +60,7 @@ func (sl *SlowLog) Cap() int { return sl.cap }
 // Record offers one successfully completed query to the log. The request
 // ID, when the query ran under a serving context, is read from the trace.
 func (sl *SlowLog) Record(query string, d time.Duration, trace *Trace) {
-	e := SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace}
+	e := SlowEntry{When: time.Now(), Query: TruncateQuery(query), Duration: d, Trace: trace}
 	if trace != nil {
 		e.RequestID = trace.RequestID
 	}
@@ -87,7 +87,7 @@ func (sl *SlowLog) Record(query string, d time.Duration, trace *Trace) {
 // and the request ID from the trace so /debug/slow is addressable by the
 // X-Request-Id a client saw on its 5xx.
 func (sl *SlowLog) RecordFailure(query string, d time.Duration, trace *Trace, errText, stack string) {
-	e := SlowEntry{When: time.Now(), Query: query, Duration: d, Trace: trace, Err: errText, Stack: stack}
+	e := SlowEntry{When: time.Now(), Query: TruncateQuery(query), Duration: d, Trace: trace, Err: errText, Stack: stack}
 	if trace != nil {
 		e.RequestID = trace.RequestID
 	}

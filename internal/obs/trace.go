@@ -40,6 +40,12 @@ type Trace struct {
 	// queries executed outside a serving context). It links this trace to
 	// the HTTP response's X-Request-Id header and the slow-log entry.
 	RequestID string
+	// TraceID, SpanID and ParentSpanID are the distributed trace identity
+	// stamped from the context's SpanContext when the query ran under one
+	// (see tracectx.go); "" otherwise. TraceID links this query to the
+	// caller's trace across process boundaries; ParentSpanID is the caller's
+	// span.
+	TraceID, SpanID, ParentSpanID string
 	// Begin is when the query started.
 	Begin time.Time
 	// Total is the query's wall time from Begin to Finish.
@@ -74,6 +80,9 @@ func (t *Trace) Format() string {
 	fmt.Fprintf(&sb, "trace: total %v over %d phases", t.Total.Round(time.Microsecond), len(t.Spans))
 	if t.RequestID != "" {
 		fmt.Fprintf(&sb, "  rid=%s", t.RequestID)
+	}
+	if t.TraceID != "" {
+		fmt.Fprintf(&sb, "  trace=%s", t.TraceID)
 	}
 	sb.WriteString("\n")
 	for _, s := range t.Spans {

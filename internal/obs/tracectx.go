@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Wire-ready trace context. A query that crosses a process boundary — the
+// planned sharded scatter-gather tier, or any caller fronting this server —
+// needs one trace identity that survives the hop, so a coordinator span can
+// parent the spans of the shards it fans out to. The W3C Trace Context
+// `traceparent` header is the interchange format:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^^ ^^ span-id ^^^^^^ flags
+//
+// SpanContext carries the parsed identity through a context.Context into the
+// engine, which stamps it onto the query's Trace (TraceID/SpanID/
+// ParentSpanID) and from there into the wide-event journal.
+
+// SpanContext identifies one span within one distributed trace. IDs are
+// lowercase hex strings (32 chars for the trace, 16 for spans), "" when
+// absent.
+type SpanContext struct {
+	// TraceID identifies the whole distributed trace.
+	TraceID string
+	// SpanID identifies this process's span within the trace.
+	SpanID string
+	// ParentSpanID is the caller's span ("" when this span is the root).
+	ParentSpanID string
+	// Flags is the W3C trace-flags byte (bit 0 = sampled).
+	Flags byte
+}
+
+// Child derives the span context for work this span initiates: same trace,
+// a fresh span ID, this span as the parent.
+func (sc SpanContext) Child() SpanContext {
+	return SpanContext{
+		TraceID:      sc.TraceID,
+		SpanID:       NewSpanID(),
+		ParentSpanID: sc.SpanID,
+		Flags:        sc.Flags,
+	}
+}
+
+// Traceparent formats the context as a W3C traceparent header value, or ""
+// when the context has no trace identity.
+func (sc SpanContext) Traceparent() string {
+	if sc.TraceID == "" || sc.SpanID == "" {
+		return ""
+	}
+	var flags [1]byte
+	flags[0] = sc.Flags
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-" + hex.EncodeToString(flags[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts the
+// version-00 format — `00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>`
+// with lowercase hex and non-zero IDs — and reports ok=false for anything
+// else, which callers treat as "no incoming trace" (mint a fresh one) rather
+// than an error, per the spec's restart-the-trace guidance.
+func ParseTraceparent(h string) (sc SpanContext, ok bool) {
+	// Fixed geometry: 2+1+32+1+16+1+2 = 55 bytes.
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	version, traceID, spanID, flagsHex := h[:2], h[3:35], h[36:52], h[53:]
+	if !isLowerHex(version) || version == "ff" {
+		return SpanContext{}, false
+	}
+	if !isLowerHex(traceID) || isAllZero(traceID) {
+		return SpanContext{}, false
+	}
+	if !isLowerHex(spanID) || isAllZero(spanID) {
+		return SpanContext{}, false
+	}
+	if !isLowerHex(flagsHex) {
+		return SpanContext{}, false
+	}
+	flags, err := hex.DecodeString(flagsHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: traceID, SpanID: spanID, Flags: flags[0]}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isAllZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// idSeq makes generated IDs unique within the process even when the random
+// source fails; ridBase (requestid.go) makes them collision-resistant across
+// processes.
+var idSeq atomic.Uint64
+
+func randomID(buf []byte) {
+	if _, err := rand.Read(buf); err != nil {
+		// Deterministic fallback: never all-zero, still process-unique.
+		binary.BigEndian.PutUint64(buf[len(buf)-8:], ridBase^idSeq.Add(1))
+	}
+	// An all-zero ID is invalid per the W3C spec; force a non-zero byte.
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		binary.BigEndian.PutUint64(buf[len(buf)-8:], ridBase|idSeq.Add(1)|1)
+	}
+}
+
+// NewTraceID returns a fresh random 32-hex-char trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	randomID(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh random 16-hex-char span ID.
+func NewSpanID() string {
+	var b [8]byte
+	randomID(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// scCtxKey is the private context key for the span context.
+type scCtxKey struct{}
+
+// WithSpanContext returns a context carrying the given span context. A
+// context with no trace identity returns ctx unchanged.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if sc.TraceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, scCtxKey{}, sc)
+}
+
+// SpanContextFrom returns the span context carried by ctx (ok=false when
+// none, or when ctx is nil).
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(scCtxKey{}).(SpanContext)
+	return sc, ok
+}

@@ -38,6 +38,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"netout/internal/aminer"
 	"netout/internal/core"
@@ -474,6 +475,31 @@ func RequestIDFromContext(ctx context.Context) string { return obs.RequestIDFrom
 // NewRequestID generates a fresh process-unique request ID.
 func NewRequestID() string { return obs.NewRequestID() }
 
+// SpanContext is a W3C Trace Context span identity (trace ID, span ID,
+// parent span ID, flags) for cross-process trace propagation.
+type SpanContext = obs.SpanContext
+
+// ParseTraceparent parses a W3C `traceparent` header value; ok=false means
+// "no usable incoming trace" (mint a fresh one), never an error.
+func ParseTraceparent(h string) (SpanContext, bool) { return obs.ParseTraceparent(h) }
+
+// NewTraceID returns a fresh random 32-hex-char W3C trace ID.
+func NewTraceID() string { return obs.NewTraceID() }
+
+// NewSpanID returns a fresh random 16-hex-char W3C span ID.
+func NewSpanID() string { return obs.NewSpanID() }
+
+// ContextWithSpanContext returns ctx carrying a span context that the engine
+// stamps onto the query's trace (TraceID/SpanID/ParentSpanID) and wide event.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return obs.WithSpanContext(ctx, sc)
+}
+
+// SpanContextFromContext extracts the span context from a context.
+func SpanContextFromContext(ctx context.Context) (SpanContext, bool) {
+	return obs.SpanContextFrom(ctx)
+}
+
 // ---------------------------------------------------------------------------
 // Observability (metrics registry, query traces, slow-query log, admin HTTP)
 
@@ -507,6 +533,53 @@ func NewSlowLog(n int) *SlowLog { return obs.NewSlowLog(n) }
 // and outcome into the registry's instruments.
 func WithObs(reg *MetricsRegistry, slow *SlowLog) EngineOption { return core.WithObs(reg, slow) }
 
+// Wide-event query journal: one flat JSON record per completed query (ok,
+// error, partial or recovered panic), emitted through an EventSink.
+type (
+	// QueryEvent is one wide event; QueryEventPhase is its per-phase row.
+	QueryEvent      = obs.Event
+	QueryEventPhase = obs.EventPhase
+	// EventSink receives completed query events (must be concurrency-safe).
+	EventSink = obs.EventSink
+	// EventRing retains the last N events in memory for /debug/events.
+	EventRing = obs.EventRing
+	// Inflight is the live table of executing queries behind /debug/requests;
+	// InflightSnapshot is one row of its snapshot.
+	Inflight         = obs.Inflight
+	InflightSnapshot = obs.InflightSnapshot
+)
+
+// WithEventSink connects an engine to a wide-event journal: every completed
+// query emits exactly one QueryEvent. nil disables emission.
+func WithEventSink(s EventSink) EngineOption { return core.WithEventSink(s) }
+
+// WithInflight registers every executing query in the table for the live
+// /debug/requests inspector. nil disables tracking.
+func WithInflight(t *Inflight) EngineOption { return core.WithInflight(t) }
+
+// NewEventRing creates a bounded in-memory event ring retaining the n most
+// recent events (n <= 0 defaults to 256).
+func NewEventRing(n int) *EventRing { return obs.NewEventRing(n) }
+
+// NewJSONLEventWriter returns a sink appending one JSON object per line to w
+// (the journal file behind -event-log). Writes are serialized; a write error
+// disables further output rather than failing queries.
+func NewJSONLEventWriter(w io.Writer) EventSink { return obs.NewJSONLWriter(w) }
+
+// NewSampledEventSink wraps inner with deterministic sampling: every error,
+// partial and slow (>= slow, 0 disables) event passes; other OK events pass
+// for a request-ID-hash fraction keep in [0, 1].
+func NewSampledEventSink(inner EventSink, keep float64, slow time.Duration) EventSink {
+	return obs.NewSampledSink(inner, keep, slow)
+}
+
+// CombineEventSinks fans events out to all given sinks, dropping nils; it
+// returns nil when nothing remains.
+func CombineEventSinks(sinks ...EventSink) EventSink { return obs.CombineSinks(sinks...) }
+
+// NewInflight creates an empty in-flight query table.
+func NewInflight() *Inflight { return obs.NewInflight() }
+
 // RegisterMaterializerMetrics exposes a materializer's cost counters on a
 // registry: index/cache bytes for every strategy, plus the full hit/miss/
 // traversal instrument set for the concurrency-safe cached strategy, read
@@ -519,11 +592,27 @@ func RegisterMaterializerMetrics(reg *MetricsRegistry, m Materializer) {
 // heap in use) to a registry.
 func RegisterProcessMetrics(reg *MetricsRegistry) { obs.RegisterProcessMetrics(reg) }
 
+// AdminOption configures optional NewAdminMux surfaces (/readyz readiness,
+// /debug/events, /debug/requests).
+type AdminOption = obs.AdminOption
+
+// AdminWithReadiness installs a readiness check behind /readyz: nil means
+// ready (200), an error means not ready (503). Wire ServePool.Ready here so
+// a draining replica stops taking traffic without failing liveness.
+func AdminWithReadiness(check func() error) AdminOption { return obs.WithReadiness(check) }
+
+// AdminWithEventRing serves the ring's retained events as JSON at
+// /debug/events.
+func AdminWithEventRing(ring *EventRing) AdminOption { return obs.WithEventRing(ring) }
+
+// AdminWithInflight serves the live in-flight query table at /debug/requests.
+func AdminWithInflight(t *Inflight) AdminOption { return obs.WithInflight(t) }
+
 // NewAdminMux builds the serving admin endpoint: /metrics (Prometheus text
-// format), /healthz, /debug/slow and the net/http/pprof handlers. Mount it
-// on an access-controlled address.
-func NewAdminMux(reg *MetricsRegistry, slow *SlowLog) *http.ServeMux {
-	return obs.NewAdminMux(reg, slow)
+// format), /healthz, /readyz, /debug/slow, /debug/events, /debug/requests
+// and the net/http/pprof handlers. Mount it on an access-controlled address.
+func NewAdminMux(reg *MetricsRegistry, slow *SlowLog, opts ...AdminOption) *http.ServeMux {
+	return obs.NewAdminMux(reg, slow, opts...)
 }
 
 // ScoreVectors scores candidate neighbor vectors against reference vectors

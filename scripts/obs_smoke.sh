@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Observability smoke test: boot `netout -serve` with an event log, run one
+# query, and assert every admin surface answers — /metrics, /debug/events,
+# /debug/requests, /readyz — and that the JSONL journal got the event.
+# Run via `make obs-smoke`; CI runs it next to bench-smoke.
+set -eu
+
+PORT="${OBS_SMOKE_PORT:-19187}"
+ADDR="127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+BIN="$TMP/netout"
+LOG="$TMP/events.jsonl"
+SRV_OUT="$TMP/serve.log"
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "${SRV_PID:-}" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "obs-smoke: FAIL: $*" >&2
+    [ -f "$SRV_OUT" ] && sed 's/^/  serve: /' "$SRV_OUT" >&2
+    exit 1
+}
+
+go build -o "$BIN" ./cmd/netout
+
+"$BIN" -gen 1 -serve "$ADDR" -event-log "$LOG" -quiet >"$SRV_OUT" 2>&1 &
+SRV_PID=$!
+
+# Wait for readiness (graph generation + pool start), bounded at ~10s.
+i=0
+until curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && fail "/readyz never became ready"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+
+Q='FIND OUTLIERS FROM author{"Christos Hub"}.paper.author JUDGED BY author.paper.venue TOP 3;'
+RESP="$(curl -fsS -D "$TMP/headers" -X POST --data "$Q" "http://$ADDR/query")" \
+    || fail "POST /query failed"
+echo "$RESP" | grep -q '"entries"' || fail "/query response has no entries: $RESP"
+grep -qi '^traceparent: 00-' "$TMP/headers" || fail "response carries no traceparent header"
+
+# grep -q a saved copy rather than the pipe: -q closes the pipe on first
+# match, which curl reports as a write failure.
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics" || fail "/metrics unreachable"
+grep -q '^netout_queries_total' "$TMP/metrics" \
+    || fail "/metrics missing netout_queries_total"
+grep -q '^netout_http_request_seconds_bucket' "$TMP/metrics" \
+    || fail "/metrics missing the request latency histogram"
+curl -fsS "http://$ADDR/debug/events" >"$TMP/events" || fail "/debug/events unreachable"
+grep -q '"outcome": "ok"' "$TMP/events" || fail "/debug/events has no ok event"
+curl -fsS "http://$ADDR/debug/requests" >"$TMP/requests" || fail "/debug/requests unreachable"
+grep -q 'in-flight' "$TMP/requests" || fail "/debug/requests did not answer"
+
+# The JSONL journal on disk has exactly the served query's wide event.
+[ -s "$LOG" ] || fail "event log $LOG is empty"
+grep -q '"outcome":"ok"' "$LOG" || fail "event log has no ok event: $(cat "$LOG")"
+
+echo "obs-smoke: OK ($(wc -l <"$LOG") event(s) journaled)"
