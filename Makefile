@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-smoke obs-smoke profile fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-smoke bench-workload bench-workload-smoke obs-smoke profile fuzz experiments examples clean
 
 all: build vet lint test
 
@@ -37,17 +37,32 @@ bench:
 	$(GO) test -run XXX -bench=. -benchmem .
 
 # Kernel/index microbenchmarks distilled to JSON (cited from README.md).
-bench-json:
+bench-json: bench-workload
 	{ $(GO) test -run XXX -bench='BenchmarkExpand$$' . ; \
-	  $(GO) test -run XXX -bench=BenchmarkPathIndexProbe ./internal/core/ ; \
+	  $(GO) test -run XXX -bench='BenchmarkPathIndexProbe|BenchmarkCacheProbe' -benchmem ./internal/core/ ; \
 	  $(GO) test -run XXX -bench=BenchmarkAccumulators ./internal/sparse/ ; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_kernel.json
 	$(GO) test -run XXX -bench='BenchmarkQuery/' -cpu 1,2,4 . \
 		| $(GO) run ./cmd/benchjson -out BENCH_query.json
 
+# The Zipf-skewed overlapping-meta-path stream: whole-path cache vs the
+# subpath-decomposed cache (with and without the planner) over one identical
+# query stream. The committed BENCH_workload.json comes from this target on
+# an unloaded multi-core machine; CI only smoke-runs it (single vCPU numbers
+# are not comparable — see README).
+bench-workload:
+	$(GO) test -run XXX -bench='BenchmarkWorkload/' -benchtime=4000x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_workload.json
+
 # One iteration of every benchmark: catches bit-rot without measuring.
 bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x ./...
+
+# One iteration of the workload stream + the warm-probe alloc check: proves
+# the subpath arms still execute and a warm probe stays allocation-free.
+bench-workload-smoke:
+	$(GO) test -run XXX -bench='BenchmarkWorkload/' -benchtime=1x .
+	$(GO) test -run XXX -bench=BenchmarkCacheProbe -benchtime=100x -benchmem ./internal/core/
 
 # Boot `netout -serve` with an event log and assert every observability
 # surface answers: /metrics, /debug/events, /debug/requests, /readyz, the

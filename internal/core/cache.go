@@ -33,7 +33,13 @@ type CacheStats struct {
 	// network work was done on that call), so Hits+Misses always equals the
 	// number of NeighborVector calls.
 	Deduped int64
-	Bytes   int64
+	// PrefixHits counts misses that resumed traversal from a cached prefix
+	// frontier instead of the source vertex (subpath mode only); HopsSaved
+	// totals the hops those resumes skipped. Prefix resumes still count as
+	// Misses — they traverse the network for the remaining hops — so the
+	// Hits+Misses == loads contract is unchanged.
+	PrefixHits, HopsSaved int64
+	Bytes                 int64
 }
 
 // HitRate returns Hits/(Hits+Misses) in [0,1], or 0 before any load —
@@ -48,8 +54,35 @@ func (s CacheStats) HitRate() float64 {
 
 // String renders the counters for terminal display.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits %d, misses %d (%.1f%% hit rate), deduped %d, evictions %d, %.1f MB resident",
+	out := fmt.Sprintf("hits %d, misses %d (%.1f%% hit rate), deduped %d, evictions %d, %.1f MB resident",
 		s.Hits, s.Misses, 100*s.HitRate(), s.Deduped, s.Evictions, float64(s.Bytes)/1e6)
+	if s.PrefixHits > 0 {
+		out += fmt.Sprintf(", %d prefix resumes (%d hops saved)", s.PrefixHits, s.HopsSaved)
+	}
+	return out
+}
+
+// CacheOption configures a NewCached materializer.
+type CacheOption func(*sharedCacheState)
+
+// WithSubpathCache enables subpath-decomposed evaluation: cache entries are
+// shared at (canonical subpath, vertex) granularity, a miss on Φ_P(v)
+// resumes hop-by-hop expansion from the longest cached prefix of P at v
+// (e.g. an APAPA miss resumes from a cached APA entry, skipping two hops),
+// and profitable intermediate frontiers are persisted under the same byte
+// budget for other paths to resume from. Decomposed evaluation is
+// bit-identical to whole-path traversal (see materializeDecomposed); only
+// which work is skipped changes.
+func WithSubpathCache() CacheOption {
+	return func(st *sharedCacheState) { st.subpath = true }
+}
+
+// WithCachePlanner toggles the cost-based planner for subpath evaluation
+// (default on when WithSubpathCache is set; no effect otherwise). Off means
+// the naive policy: adaptive kernels per hop and every intermediate
+// persisted, leaving the LRU to discard the unprofitable ones.
+func WithCachePlanner(on bool) CacheOption {
+	return func(st *sharedCacheState) { st.plannerOff = !on }
 }
 
 // NewCached returns a materializer that memoizes neighbor vectors in an
@@ -59,11 +92,18 @@ func (s CacheStats) String() string {
 // The cache is safe for concurrent use, and concurrent misses on the same
 // (path, vertex) traverse the network once (singleflight). Views created
 // with NewView share the same warm state and counters.
-func NewCached(g *hin.Graph, maxBytes int64) (Materializer, error) {
+func NewCached(g *hin.Graph, maxBytes int64, opts ...CacheOption) (Materializer, error) {
 	if maxBytes <= 0 {
 		return nil, fmt.Errorf("core: cache size must be positive, got %d", maxBytes)
 	}
-	return &cached{state: newSharedCacheState(g, maxBytes)}, nil
+	st := newSharedCacheState(g, maxBytes)
+	for _, o := range opts {
+		o(st)
+	}
+	if st.subpath && !st.plannerOff {
+		st.planner = newPlanner(g, st)
+	}
+	return &cached{state: st}, nil
 }
 
 func (c *cached) Strategy() Strategy { return StrategyCached }
@@ -84,10 +124,24 @@ func CacheStatsOf(m Materializer) (CacheStats, bool) {
 	return c.CacheStats(), true
 }
 
-func cacheKey(p metapath.Path, v hin.VertexID) string {
-	return p.Key() + "\x00" + string([]byte{
-		byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
-	})
+// Planner returns the cost-based planner steering this cache's subpath
+// evaluation, or nil when the planner (or subpath mode) is disabled.
+func (c *cached) Planner() *Planner { return c.state.planner }
+
+// PlannerOf extracts the planner from a materializer created by NewCached
+// (or any view of one); nil for other strategies or when disabled.
+func PlannerOf(m Materializer) *Planner {
+	if c, ok := m.(*cached); ok {
+		return c.state.planner
+	}
+	return nil
+}
+
+// cacheKey builds the probe key for Φ_P(v). Path.Key is precomputed and
+// ckey is a plain comparable struct, so this is allocation-free — it runs
+// once per NeighborVector call on the hot path.
+func cacheKey(p metapath.Path, v hin.VertexID) ckey {
+	return ckey{path: p.Key(), v: v}
 }
 
 func (c *cached) NeighborVector(p metapath.Path, v hin.VertexID) (sparse.Vector, error) {

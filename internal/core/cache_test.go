@@ -207,7 +207,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	leader := &flightCall{}
 	leader.wg.Add(1)
 	fg.mu.Lock()
-	fg.m = map[string]*flightCall{"k": leader}
+	fg.m = map[ckey]*flightCall{{path: "k"}: leader}
 	fg.mu.Unlock()
 
 	type res struct {
@@ -216,7 +216,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 	done := make(chan res)
 	go func() {
-		vec, err := fg.do("k", func() (sparse.Vector, error) {
+		vec, err := fg.do(ckey{path: "k"}, func() (sparse.Vector, error) {
 			t.Error("follower ran its own fn")
 			return sparse.Vector{}, nil
 		})
@@ -230,7 +230,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 	// A fresh key runs fn exactly once and unregisters afterwards.
 	ran := 0
-	vec, err := fg.do("fresh", func() (sparse.Vector, error) {
+	vec, err := fg.do(ckey{path: "fresh"}, func() (sparse.Vector, error) {
 		ran++
 		return sparse.Vector{Idx: []int32{1}, Val: []float64{1}}, nil
 	})
@@ -275,7 +275,7 @@ func TestSharedCacheConcurrentStress(t *testing.T) {
 		workers = 8
 		rounds  = 300
 	)
-	want := make(map[string]sparse.Vector)
+	want := make(map[ckey]sparse.Vector)
 	base := NewBaseline(g)
 	for _, p := range paths {
 		for _, v := range authors {

@@ -327,6 +327,7 @@ func (e *Engine) emitEvent(ctx context.Context, trace *obs.Trace, query string, 
 		QueueWaitUs:  obs.QueueWaitFrom(ctx).Microseconds(),
 		TotalUs:      trace.Total.Microseconds(),
 		Kernels:      kernels,
+		Plan:         trace.Plan,
 		Outcome:      xerr.Outcome(err),
 	}
 	for _, s := range trace.Spans {
@@ -474,6 +475,15 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 		ReferenceCount: len(refs),
 	}
 	res.Timing.SetRetrieval = time.Since(setStart)
+	// When the materializer runs a subpath planner, stamp its per-path
+	// decisions into the trace during the plan phase; observeQuery copies
+	// them onto the wide event, so /debug/events shows how each feature
+	// path was going to be evaluated.
+	if pl := PlannerOf(e.mat); pl != nil {
+		for _, p := range paths {
+			tr.AddPlan(pl.PlanSummary(p))
+		}
+	}
 	tr.EndPhase("plan", obs.SpanStats{})
 	ifq.SetPhase("materialize")
 

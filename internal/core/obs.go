@@ -20,11 +20,14 @@ import (
 //	netout_cache_misses_total           counter │
 //	netout_cache_deduped_total          counter │ cached strategy only
 //	netout_cache_evictions_total        counter │ (read from the shared
-//	netout_cache_bytes                  gauge   │  atomic counters)
+//	netout_cache_prefix_hits_total      counter │  atomic counters)
+//	netout_cache_hops_saved_total       counter │
+//	netout_cache_bytes                  gauge   │
 //	netout_mat_traversed_vectors_total  counter │
 //	netout_mat_indexed_vectors_total    counter │
 //	netout_mat_traversal_seconds_total  counter │
 //	netout_mat_indexed_seconds_total    counter ┘
+//	netout_plan_decisions_total{choice} counter (subpath planner only)
 //
 // Only the cached materializer's full MatStats are exported: its counters
 // are shared atomics, safe to read from the scrape goroutine. Baseline and
@@ -54,6 +57,10 @@ func RegisterMaterializerMetrics(reg *obs.Registry, m Materializer) {
 		func() float64 { return float64(st.deduped.Load()) })
 	reg.CounterFunc("netout_cache_evictions_total", "LRU evictions under the byte budget.",
 		func() float64 { return float64(st.evictions.Load()) })
+	reg.CounterFunc("netout_cache_prefix_hits_total", "Misses resumed from a cached subpath prefix frontier.",
+		func() float64 { return float64(st.prefixHits.Load()) })
+	reg.CounterFunc("netout_cache_hops_saved_total", "Traversal hops skipped by subpath prefix resumes.",
+		func() float64 { return float64(st.hopsSaved.Load()) })
 	reg.GaugeFunc("netout_cache_bytes", "Resident cache payload bytes.",
 		func() float64 { return float64(st.bytes.Load()) })
 	reg.CounterFunc("netout_mat_traversed_vectors_total", "Neighbor vectors materialized by network traversal.",
@@ -64,4 +71,12 @@ func RegisterMaterializerMetrics(reg *obs.Registry, m Materializer) {
 		func() float64 { return float64(st.traversalNs.Load()) / 1e9 })
 	reg.CounterFunc("netout_mat_indexed_seconds_total", "Seconds spent on warm loads and probes.",
 		func() float64 { return float64(st.indexedNs.Load()) / 1e9 })
+	if pl := st.planner; pl != nil {
+		const planHelp = "Subpath planner decisions by choice (traversal shape, persistence, pinned kernels)."
+		for c := planChoice(0); c < planChoiceCount; c++ {
+			c := c
+			reg.CounterFunc(`netout_plan_decisions_total{choice="`+c.String()+`"}`, planHelp,
+				func() float64 { return float64(pl.decisions[c].Load()) })
+		}
+	}
 }

@@ -23,8 +23,19 @@ import (
 // cacheShardCount must be a power of two (the shard index is a bitmask).
 const cacheShardCount = 16
 
+// ckey identifies one cached Φ vector: the canonical subpath key (one byte
+// per vertex type, metapath.Path.Key) and the source vertex. It is a
+// comparable struct rather than a concatenated string so building a probe
+// key is two field copies — no per-lookup allocation — and the key of any
+// prefix of a path is a substring of the full path's key, which in Go
+// shares the backing bytes (probing every prefix allocates nothing).
+type ckey struct {
+	path string
+	v    hin.VertexID
+}
+
 type cacheEntry struct {
-	key string
+	key ckey
 	vec sparse.Vector
 }
 
@@ -32,12 +43,12 @@ type cacheEntry struct {
 // an LRU list for eviction order, with byte accounting local to the shard.
 type cacheShard struct {
 	mu      sync.Mutex
-	entries map[string]*list.Element
+	entries map[ckey]*list.Element
 	order   *list.List // front = most recent
 	bytes   int64      // guarded by mu
 }
 
-func (sh *cacheShard) get(key string) (sparse.Vector, bool) {
+func (sh *cacheShard) get(key ckey) (sparse.Vector, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	el, ok := sh.entries[key]
@@ -58,6 +69,16 @@ type sharedCacheState struct {
 	shards   [cacheShardCount]cacheShard
 	flight   flightGroup
 
+	// subpath enables subpath-decomposed evaluation (WithSubpathCache):
+	// misses resume from the longest cached prefix of the path and may
+	// persist intermediate frontiers for other paths to resume from.
+	subpath bool
+	// planner drives the kernel/persist decisions of subpath evaluation;
+	// nil means the naive policy (adaptive kernels, persist everything).
+	planner *Planner
+	// plannerOff suppresses the default planner under WithSubpathCache.
+	plannerOff bool
+
 	// traversers pools per-goroutine scratch space for cache misses
 	// (metapath.Traverser is not safe for concurrent use).
 	traversers sync.Pool
@@ -71,6 +92,12 @@ type sharedCacheState struct {
 	evictions atomic.Int64
 	deduped   atomic.Int64
 
+	// prefixHits counts misses that resumed from a cached proper-prefix
+	// frontier instead of traversing from the source; hopsSaved totals the
+	// hops those resumes skipped. Both are zero outside subpath mode.
+	prefixHits atomic.Int64
+	hopsSaved  atomic.Int64
+
 	indexedNs     atomic.Int64
 	traversalNs   atomic.Int64
 	indexedVecs   atomic.Int64
@@ -81,21 +108,26 @@ func newSharedCacheState(g *hin.Graph, maxBytes int64) *sharedCacheState {
 	st := &sharedCacheState{g: g, maxBytes: maxBytes}
 	st.traversers.New = func() any { return metapath.NewTraverser(g) }
 	for i := range st.shards {
-		st.shards[i].entries = make(map[string]*list.Element)
+		st.shards[i].entries = make(map[ckey]*list.Element)
 		st.shards[i].order = list.New()
 	}
 	return st
 }
 
-// shard maps a cache key to its shard by FNV-1a hash.
-func (st *sharedCacheState) shard(key string) *cacheShard {
+// shard maps a cache key to its shard by FNV-1a hash over the subpath bytes
+// and the vertex ID.
+func (st *sharedCacheState) shard(key ckey) *cacheShard {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	var h uint64 = offset64
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
+	for i := 0; i < len(key.path); i++ {
+		h ^= uint64(key.path[i])
+		h *= prime64
+	}
+	for shift := 0; shift < 32; shift += 8 {
+		h ^= uint64(byte(key.v >> shift))
 		h *= prime64
 	}
 	return &st.shards[h&(cacheShardCount-1)]
@@ -105,12 +137,12 @@ func (st *sharedCacheState) shard(key string) *cacheShard {
 // entry (map bucket share, vertex key, two slice headers).
 const indexEntryOverhead = 4 + 2*24
 
-func cacheEntrySize(key string, vec sparse.Vector) int64 {
-	return int64(vec.Bytes()) + indexEntryOverhead + int64(len(key))
+func cacheEntrySize(key ckey, vec sparse.Vector) int64 {
+	return int64(vec.Bytes()) + indexEntryOverhead + int64(len(key.path)) + 4
 }
 
 // lookup probes the cache, charging probe time and a hit to the counters.
-func (st *sharedCacheState) lookup(key string) (sparse.Vector, bool) {
+func (st *sharedCacheState) lookup(key ckey) (sparse.Vector, bool) {
 	start := time.Now()
 	vec, ok := st.shard(key).get(key)
 	if ok {
@@ -125,7 +157,7 @@ func (st *sharedCacheState) lookup(key string) (sparse.Vector, bool) {
 // network; every other concurrent caller for the same key waits for that
 // result. The leader re-checks the cache inside the flight, so a load that
 // raced with a completed insert is served warm too.
-func (st *sharedCacheState) load(p metapath.Path, v hin.VertexID, key string) (sparse.Vector, error) {
+func (st *sharedCacheState) load(p metapath.Path, v hin.VertexID, key ckey) (sparse.Vector, error) {
 	start := time.Now()
 	sh := st.shard(key)
 	traversed := false
@@ -134,6 +166,9 @@ func (st *sharedCacheState) load(p metapath.Path, v hin.VertexID, key string) (s
 			return vec, nil
 		}
 		traversed = true
+		if st.subpath {
+			return st.materializeDecomposed(p, v, key)
+		}
 		tr := st.traversers.Get().(*metapath.Traverser)
 		vec, err := tr.NeighborVector(p, v)
 		st.traversers.Put(tr)
@@ -161,12 +196,82 @@ func (st *sharedCacheState) load(p metapath.Path, v hin.VertexID, key string) (s
 	return vec, err
 }
 
+// materializeDecomposed computes Φ_P(v) by subpath decomposition: resume
+// hop-by-hop expansion from the longest cached prefix frontier of P at v,
+// persisting the intermediates the planner deems profitable along the way.
+//
+// Bit-identity: a cached prefix entry is, by induction, exactly the frontier
+// whole-path traversal holds after that prefix's hops (the entry was itself
+// produced by this expansion sequence from the seed vertex), and every
+// expansion kernel is bit-equal, so resuming performs the identical floating-
+// point operation sequence as Traverser.NeighborVector — Float64bits-equal
+// output, not merely approximately equal. Suffix recombination (summing
+// Φ_suffix over the frontier) would reassociate the additions and break this,
+// which is why only prefix reuse is implemented.
+//
+// The caller (load) holds the singleflight slot for the FULL key only;
+// prefix probes and intermediate inserts touch one shard lock at a time, so
+// an entry evicted between probe and use merely degrades this call to more
+// traversal — the probed vector value itself is immutable and stays valid.
+func (st *sharedCacheState) materializeDecomposed(p metapath.Path, v hin.VertexID, key ckey) (sparse.Vector, error) {
+	var plan *pathPlan
+	if st.planner != nil {
+		plan = st.planner.planFor(p)
+	}
+	pk := p.Key()
+	// Probe prefixes longest-first. A prefix of k types covers k-1 hops; the
+	// shortest useful prefix has 2 types (1 hop). Probes move entries to the
+	// LRU front but do not count as Hits — the Hits+Misses == loads contract
+	// tracks NeighborVector calls, and this whole call is one Miss.
+	cur := sparse.Vector{Idx: []int32{int32(v)}, Val: []float64{1}}
+	startHop := 0
+	for k := p.Len() - 1; k >= 2; k-- {
+		pref := ckey{path: pk[:k], v: v}
+		if vec, ok := st.shard(pref).get(pref); ok {
+			cur, startHop = vec, k-1
+			break
+		}
+	}
+	tr := st.traversers.Get().(*metapath.Traverser)
+	for hop := startHop; hop < p.Hops(); hop++ {
+		kern := metapath.KernelAuto
+		if plan != nil {
+			kern = plan.kernels[hop]
+		}
+		cur = tr.ExpandWith(kern, cur, p.Type(hop+1))
+		if cur.IsZero() {
+			break // empty frontier: Φ_P(v) is zero, like whole-path traversal
+		}
+		// Persist the boundary frontier (prefix of hop+2 types) when the plan
+		// marks it profitable; without a planner, persist everything and let
+		// the LRU sort it out.
+		if b := hop + 2; b < p.Len() && (plan == nil || plan.persist[b]) {
+			st.insert(ckey{path: pk[:b], v: v}, cur)
+			if st.planner != nil {
+				st.planner.count(planPersistIntermediate)
+			}
+		}
+	}
+	st.traversers.Put(tr)
+	st.insert(key, cur)
+	if startHop > 0 {
+		st.prefixHits.Add(1)
+		st.hopsSaved.Add(int64(startHop))
+		if st.planner != nil {
+			st.planner.count(planPrefixResume)
+		}
+	} else if st.planner != nil {
+		st.planner.count(planFullTraverse)
+	}
+	return cur, nil
+}
+
 // insert stores a vector, superseding any entry already present under the
 // same key (its element is unlinked and its bytes reclaimed — with
 // singleflight this is rare, but eviction between a flight's re-check and
 // its insert can race a second flight for the same key). The global byte
 // budget is then enforced by evicting LRU tails, rotating across shards.
-func (st *sharedCacheState) insert(key string, vec sparse.Vector) {
+func (st *sharedCacheState) insert(key ckey, vec sparse.Vector) {
 	size := cacheEntrySize(key, vec)
 	if size > st.maxBytes {
 		return // larger than the whole cache: do not thrash
@@ -228,11 +333,13 @@ func (st *sharedCacheState) matStats() MatStats {
 
 func (st *sharedCacheState) cacheStats() CacheStats {
 	return CacheStats{
-		Hits:      st.hits.Load(),
-		Misses:    st.misses.Load(),
-		Evictions: st.evictions.Load(),
-		Deduped:   st.deduped.Load(),
-		Bytes:     st.bytes.Load(),
+		Hits:       st.hits.Load(),
+		Misses:     st.misses.Load(),
+		Evictions:  st.evictions.Load(),
+		Deduped:    st.deduped.Load(),
+		PrefixHits: st.prefixHits.Load(),
+		HopsSaved:  st.hopsSaved.Load(),
+		Bytes:      st.bytes.Load(),
 	}
 }
 
@@ -266,15 +373,15 @@ type flightCall struct {
 // singleflight: no external dependency, vector-typed results).
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flightCall
+	m  map[ckey]*flightCall
 }
 
 // do runs fn once per key among concurrent callers; every caller receives
 // the leader's result. fn runs outside the group lock.
-func (fg *flightGroup) do(key string, fn func() (sparse.Vector, error)) (sparse.Vector, error) {
+func (fg *flightGroup) do(key ckey, fn func() (sparse.Vector, error)) (sparse.Vector, error) {
 	fg.mu.Lock()
 	if fg.m == nil {
-		fg.m = make(map[string]*flightCall)
+		fg.m = make(map[ckey]*flightCall)
 	}
 	if call, ok := fg.m[key]; ok {
 		fg.mu.Unlock()

@@ -367,20 +367,20 @@ func TestQuickGeneratedGraphsAreValid(t *testing.T) {
 
 func TestZipfSampler(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
-	z := newZipfSampler(100, 1.2)
+	z := NewZipfSampler(100, 1.2)
 	counts := make([]int, 100)
 	for i := 0; i < 20000; i++ {
-		counts[z.sample(r)]++
+		counts[z.Sample(r)]++
 	}
 	// Skew: rank 0 must dominate rank 50.
 	if counts[0] <= counts[50]*2 {
 		t.Fatalf("no Zipf skew: head=%d mid=%d", counts[0], counts[50])
 	}
 	// Uniform case: s=0 gives roughly equal mass.
-	u := newZipfSampler(10, 0)
+	u := NewZipfSampler(10, 0)
 	ucounts := make([]int, 10)
 	for i := 0; i < 20000; i++ {
-		ucounts[u.sample(r)]++
+		ucounts[u.Sample(r)]++
 	}
 	for i, c := range ucounts {
 		if c < 1400 || c > 2600 {
@@ -388,7 +388,7 @@ func TestZipfSampler(t *testing.T) {
 		}
 	}
 	// Distinct sampling returns unique indices and clamps k.
-	got := z.sampleDistinct(r, 5)
+	got := z.SampleDistinct(r, 5)
 	seen := map[int]bool{}
 	for _, i := range got {
 		if seen[i] {
@@ -396,7 +396,7 @@ func TestZipfSampler(t *testing.T) {
 		}
 		seen[i] = true
 	}
-	if n := len(newZipfSampler(3, 1).sampleDistinct(r, 10)); n != 3 {
+	if n := len(NewZipfSampler(3, 1).SampleDistinct(r, 10)); n != 3 {
 		t.Fatalf("clamped distinct sample length = %d", n)
 	}
 }

@@ -82,9 +82,9 @@ type generator struct {
 	venueNames [][]string
 	shared     []hin.VertexID // shared terms
 
-	authorPick *zipfSampler
-	venuePick  *zipfSampler
-	termPick   *zipfSampler
+	authorPick *ZipfSampler
+	venuePick  *ZipfSampler
+	termPick   *ZipfSampler
 
 	paperSeq int
 }
@@ -111,9 +111,9 @@ func (g *generator) buildCommunities() {
 	for i := 0; i < cfg.SharedTerms; i++ {
 		g.shared = append(g.shared, g.b.MustAddVertex(g.termT, fmt.Sprintf("term-common-%03d", i)))
 	}
-	g.authorPick = newZipfSampler(cfg.AuthorsPerCommunity, cfg.ProductivityZipf)
-	g.venuePick = newZipfSampler(cfg.VenuesPerCommunity, cfg.VenueZipf)
-	g.termPick = newZipfSampler(cfg.TermsPerCommunity, 1.0)
+	g.authorPick = NewZipfSampler(cfg.AuthorsPerCommunity, cfg.ProductivityZipf)
+	g.venuePick = NewZipfSampler(cfg.VenuesPerCommunity, cfg.VenueZipf)
+	g.termPick = NewZipfSampler(cfg.TermsPerCommunity, 1.0)
 }
 
 // newPaper creates a paper vertex linked to a venue, authors and terms.
@@ -135,7 +135,7 @@ func (g *generator) newPaper(venue hin.VertexID, authors []hin.VertexID, terms [
 func (g *generator) communityTerms(c int) []hin.VertexID {
 	n := 1 + g.r.Intn(g.cfg.MaxTermsPerPaper)
 	var out []hin.VertexID
-	for _, i := range g.termPick.sampleDistinct(g.r, n) {
+	for _, i := range g.termPick.SampleDistinct(g.r, n) {
 		out = append(out, g.terms[c][i])
 	}
 	if len(g.shared) > 0 && g.r.Float64() < 0.5 {
@@ -148,15 +148,15 @@ func (g *generator) buildBackgroundPapers() {
 	cfg := g.cfg
 	for i := 0; i < cfg.Papers; i++ {
 		c := g.r.Intn(cfg.Communities)
-		venue := g.venues[c][g.venuePick.sample(g.r)]
+		venue := g.venues[c][g.venuePick.Sample(g.r)]
 		nAuthors := 1 + g.r.Intn(cfg.MaxAuthorsPerPaper)
 		var authors []hin.VertexID
-		for _, ai := range g.authorPick.sampleDistinct(g.r, nAuthors) {
+		for _, ai := range g.authorPick.SampleDistinct(g.r, nAuthors) {
 			authors = append(authors, g.authors[c][ai])
 		}
 		if cfg.Communities > 1 && g.r.Float64() < cfg.CrossCommunityProb {
 			oc := (c + 1 + g.r.Intn(cfg.Communities-1)) % cfg.Communities
-			authors = append(authors, g.authors[oc][g.authorPick.sample(g.r)])
+			authors = append(authors, g.authors[oc][g.authorPick.Sample(g.r)])
 		}
 		g.newPaper(venue, authors, g.communityTerms(c))
 	}
@@ -166,7 +166,7 @@ func (g *generator) buildBackgroundPapers() {
 func (g *generator) plant(man *Manifest) {
 	p := g.cfg.Planted
 	r := g.r
-	comm0Venue := func() hin.VertexID { return g.venues[0][g.venuePick.sample(r)] }
+	comm0Venue := func() hin.VertexID { return g.venues[0][g.venuePick.Sample(r)] }
 
 	hub := g.b.MustAddVertex(g.authorT, p.HubName)
 	man.Hub = p.HubName
@@ -187,7 +187,7 @@ func (g *generator) plant(man *Manifest) {
 			if r.Float64() < 0.6 {
 				coauthors = append(coauthors, normals[r.Intn(len(normals))])
 			}
-			coauthors = append(coauthors, g.authors[0][g.authorPick.sample(r)])
+			coauthors = append(coauthors, g.authors[0][g.authorPick.Sample(r)])
 			g.newPaper(comm0Venue(), dedupVertices(coauthors), g.communityTerms(0))
 		}
 	}
@@ -214,8 +214,8 @@ func (g *generator) plant(man *Manifest) {
 		}
 		// The main record: foreign-community venues and collaborators.
 		for k := 0; k < p.CrossFieldPapers; k++ {
-			venue := g.venues[foreign][g.venuePick.sample(r)]
-			coauthors := []hin.VertexID{a, g.authors[foreign][g.authorPick.sample(r)]}
+			venue := g.venues[foreign][g.venuePick.Sample(r)]
+			coauthors := []hin.VertexID{a, g.authors[foreign][g.authorPick.Sample(r)]}
 			g.newPaper(venue, coauthors, g.communityTerms(foreign))
 		}
 	}

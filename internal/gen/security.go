@@ -85,7 +85,7 @@ func GenerateSecurity(cfg SecurityConfig) (*hin.Graph, *SecurityManifest, error)
 	man := &SecurityManifest{}
 	subnets := make([]hin.VertexID, cfg.Subnets)
 	sigs := make([][]hin.VertexID, cfg.Subnets)
-	sigPick := newZipfSampler(cfg.SigsPerSubnet, 0.8)
+	sigPick := NewZipfSampler(cfg.SigsPerSubnet, 0.8)
 	for s := 0; s < cfg.Subnets; s++ {
 		name := fmt.Sprintf("subnet-%02d", s)
 		man.Subnets = append(man.Subnets, name)
@@ -111,7 +111,7 @@ func GenerateSecurity(cfg SecurityConfig) (*hin.Graph, *SecurityManifest, error)
 			b.MustAddEdge(h, subnets[s])
 			n := cfg.AlertsPerHost/2 + r.Intn(cfg.AlertsPerHost)
 			for k := 0; k < n; k++ {
-				raise(h, sigs[s][sigPick.sample(r)])
+				raise(h, sigs[s][sigPick.Sample(r)])
 			}
 		}
 	}
@@ -124,14 +124,14 @@ func GenerateSecurity(cfg SecurityConfig) (*hin.Graph, *SecurityManifest, error)
 		h := b.MustAddVertex(hostT, name)
 		b.MustAddEdge(h, subnets[0])
 		for k := 0; k < cfg.CompromisedNoise; k++ {
-			raise(h, sigs[0][sigPick.sample(r)])
+			raise(h, sigs[0][sigPick.Sample(r)])
 		}
 		foreign := 1 + i%(cfg.Subnets-1)
 		for k := 0; k < cfg.CompromisedBad; k++ {
 			if k%3 == 0 {
 				raise(h, exfil)
 			} else {
-				raise(h, sigs[foreign][sigPick.sample(r)])
+				raise(h, sigs[foreign][sigPick.Sample(r)])
 			}
 		}
 	}

@@ -16,6 +16,20 @@ import (
 // Paths are immutable: operators return new values.
 type Path struct {
 	types []hin.TypeID
+	// key is the canonical byte encoding of types (one byte per type),
+	// precomputed at construction so Key() — the cache/index map key — is a
+	// field load instead of a per-lookup allocation.
+	key string
+}
+
+// mk builds a Path over types, precomputing its canonical key. The slice is
+// adopted, not copied — callers must own it exclusively.
+func mk(types []hin.TypeID) Path {
+	b := make([]byte, len(types))
+	for i, t := range types {
+		b[i] = byte(t)
+	}
+	return Path{types: types, key: string(b)}
 }
 
 // New builds a meta-path from type IDs. At least one type is required.
@@ -23,7 +37,7 @@ func New(types ...hin.TypeID) (Path, error) {
 	if len(types) == 0 {
 		return Path{}, fmt.Errorf("metapath: a meta-path needs at least one vertex type")
 	}
-	return Path{types: append([]hin.TypeID(nil), types...)}, nil
+	return mk(append([]hin.TypeID(nil), types...)), nil
 }
 
 // MustNew is New panicking on error, for statically-known paths.
@@ -48,7 +62,7 @@ func FromNames(s *hin.Schema, names ...string) (Path, error) {
 		}
 		types[i] = t
 	}
-	return Path{types: types}, nil
+	return mk(types), nil
 }
 
 // ParseDotted parses the query-language form "author.paper.venue".
@@ -91,7 +105,7 @@ func (p Path) Reverse() Path {
 	for i, t := range p.types {
 		rev[len(p.types)-1-i] = t
 	}
-	return Path{types: rev}
+	return mk(rev)
 }
 
 // Concat returns the concatenation (P Q) (Definition 4). The target type of
@@ -106,7 +120,7 @@ func (p Path) Concat(q Path) (Path, error) {
 	out := make([]hin.TypeID, 0, len(p.types)+len(q.types)-1)
 	out = append(out, p.types...)
 	out = append(out, q.types[1:]...)
-	return Path{types: out}, nil
+	return mk(out), nil
 }
 
 // Symmetric returns Psym = (P P⁻¹), the round-trip path used to define
@@ -164,22 +178,19 @@ func (p Path) Equal(q Path) bool {
 	return true
 }
 
-// Key returns a compact comparable key for use as a map key.
-func (p Path) Key() string {
-	b := make([]byte, len(p.types))
-	for i, t := range p.types {
-		b[i] = byte(t)
-	}
-	return string(b)
-}
+// Key returns a compact comparable key for use as a map key: one byte per
+// vertex type, in path order. It is precomputed at construction, so calling
+// it in a cache-probe hot loop costs a field load, not an allocation; the
+// key of the prefix with j hops is the substring Key()[:j+1] (no copy).
+func (p Path) Key() string { return p.key }
 
-// FromKey reconstructs a Path from a Key.
+// FromKey reconstructs a Path from a Key (or from any prefix of one).
 func FromKey(k string) Path {
 	types := make([]hin.TypeID, len(k))
 	for i := 0; i < len(k); i++ {
 		types[i] = hin.TypeID(k[i])
 	}
-	return Path{types: types}
+	return mk(types)
 }
 
 // Dotted renders the path in the query-language form "author.paper.venue".

@@ -68,7 +68,18 @@ func (tr *Traverser) NeighborVector(p Path, v hin.VertexID) (sparse.Vector, erro
 // accumulator is the fallback for huge sparse types). Expand does not
 // require the frontier to be sorted, only duplicate-free.
 func (tr *Traverser) Expand(frontier sparse.Vector, next hin.TypeID) sparse.Vector {
-	switch tr.pick(frontier.NNZ(), next) {
+	return tr.ExpandWith(KernelAuto, frontier, next)
+}
+
+// ExpandWith is Expand with the kernel chosen by the caller — the hook the
+// cost-based planner uses to pin a kernel per hop. KernelAuto defers to the
+// adaptive heuristic (and to any SetKernel override). All kernels are
+// bit-equal, so the choice affects speed only, never the vector.
+func (tr *Traverser) ExpandWith(k Kernel, frontier sparse.Vector, next hin.TypeID) sparse.Vector {
+	if k == KernelAuto {
+		k = tr.pick(frontier.NNZ(), next)
+	}
+	switch k {
 	case KernelMerge:
 		return tr.expandMerge(frontier, next)
 	case KernelDense:

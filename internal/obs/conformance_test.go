@@ -276,6 +276,14 @@ func TestExpositionConformance(t *testing.T) {
 	reg.Histogram(`netout_http_request_seconds{code="500"}`, "Request latency.", nil).Observe(0.2)
 	// Hostile dynamic label values and HELP text must be escaped, not corrupting.
 	reg.Counter("netout_evil_total{q=\"a\\\"b\\\\c\nd\"}", "Help with \\ and\nnewline.").Inc()
+	// The subpath planner's decision family: CounterFunc samples sharing one
+	// family, split by a choice label (core.RegisterMaterializerMetrics shape).
+	planChoices := []string{"full-traverse", "prefix-resume", "persist-intermediate", "kernel-auto", "kernel-dense", "kernel-map"}
+	for i, choice := range planChoices {
+		v := float64(i + 1)
+		reg.CounterFunc(`netout_plan_decisions_total{choice="`+choice+`"}`, "Planner decisions.",
+			func() float64 { return v })
+	}
 
 	var sb strings.Builder
 	reg.WritePrometheus(&sb)
@@ -304,6 +312,19 @@ func TestExpositionConformance(t *testing.T) {
 			t.Fatalf("%s family = %+v", fam, f)
 		}
 		checkHistogram(t, fam, f)
+	}
+	plan := fams["netout_plan_decisions_total"]
+	if plan == nil || plan.typ != "counter" || len(plan.samples) != len(planChoices) {
+		t.Fatalf("netout_plan_decisions_total family = %+v", plan)
+	}
+	seen := map[string]float64{}
+	for _, s := range plan.samples {
+		seen[s.labels["choice"]] = s.value
+	}
+	for i, choice := range planChoices {
+		if seen[choice] != float64(i+1) {
+			t.Fatalf("plan choice %q = %v, want %d (have %v)", choice, seen[choice], i+1, seen)
+		}
 	}
 	// The hostile label value round-trips through escaping.
 	evil := fams["netout_evil_total"]

@@ -74,6 +74,10 @@ type Event struct {
 	// Kernels counts expansion hops by kernel (merge/dense/map) during the
 	// query, when the materializer exposes its traverser's counters.
 	Kernels map[string]int64 `json:"kernels,omitempty"`
+	// Plan lists the subpath planner's decisions, one rendered line per
+	// feature meta-path (absent when no planner is active) — how this query
+	// was going to be evaluated, inspectable at /debug/events.
+	Plan []string `json:"plan,omitempty"`
 	// Candidates and References are |Sc| and |Sr|; Entries is the ranked
 	// result size.
 	Candidates int `json:"candidates,omitempty"`

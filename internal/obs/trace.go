@@ -52,6 +52,9 @@ type Trace struct {
 	Total time.Duration
 	// Spans are the phases in execution order.
 	Spans []Span
+	// Plan lists the materializer planner's decisions for the query, one
+	// rendered line per feature meta-path (empty when no planner is active).
+	Plan []string
 }
 
 // PhaseSum returns the summed duration of all spans. By construction it
@@ -96,6 +99,9 @@ func (t *Trace) Format() string {
 		}
 		sb.WriteString("\n")
 	}
+	for _, p := range t.Plan {
+		fmt.Fprintf(&sb, "  %s\n", p)
+	}
 	return sb.String()
 }
 
@@ -124,6 +130,11 @@ func (tr *Tracer) EndPhase(phase string, st SpanStats) {
 		Stats:    st,
 	})
 	tr.last = now
+}
+
+// AddPlan appends one planner decision line to the trace being recorded.
+func (tr *Tracer) AddPlan(note string) {
+	tr.trace.Plan = append(tr.trace.Plan, note)
 }
 
 // Finish seals the trace and returns it. The tracer must not be used

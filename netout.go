@@ -244,13 +244,37 @@ func NewSPMVertices(g *Graph, vertices []VertexID) Materializer {
 // and safe for concurrent use from any number of goroutines; concurrent
 // misses on the same vector are deduplicated so the network is traversed
 // once. Views made with NewMaterializerView share the same warm cache.
-func NewCached(g *Graph, maxBytes int64) (Materializer, error) {
-	return core.NewCached(g, maxBytes)
+func NewCached(g *Graph, maxBytes int64, opts ...CacheOption) (Materializer, error) {
+	return core.NewCached(g, maxBytes, opts...)
 }
+
+// CacheOption configures a NewCached materializer.
+type CacheOption = core.CacheOption
+
+// WithSubpathCache enables subpath-decomposed evaluation: cache entries are
+// shared at (canonical subpath, vertex) granularity across queries and
+// views, misses resume from the longest cached prefix of the meta-path, and
+// profitable intermediate frontiers are persisted under the same byte
+// budget. Results are bit-identical to whole-path evaluation; only the work
+// skipped changes.
+func WithSubpathCache() CacheOption { return core.WithSubpathCache() }
+
+// WithCachePlanner toggles the cost-based planner steering subpath
+// evaluation (default on when WithSubpathCache is set).
+func WithCachePlanner(on bool) CacheOption { return core.WithCachePlanner(on) }
+
+// Planner is the cost-based subpath-evaluation planner; its decisions are
+// visible in query traces, wide events and netout_plan_* metrics.
+type Planner = core.Planner
+
+// PlannerOf extracts the planner from a NewCached materializer (nil when
+// the planner or subpath mode is disabled, or for other strategies).
+func PlannerOf(m Materializer) *Planner { return core.PlannerOf(m) }
 
 // CacheStats reports hit/miss/eviction counters of a cached materializer.
 // Under concurrent use Deduped counts loads that were coalesced into
-// another goroutine's in-flight traversal (a subset of Hits).
+// another goroutine's in-flight traversal (a subset of Hits). In subpath
+// mode PrefixHits/HopsSaved report partial reuse on the miss path.
 type CacheStats = core.CacheStats
 
 // CacheStatsOf extracts cache counters from a NewCached materializer.
