@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-smoke bench-workload bench-workload-smoke obs-smoke profile fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-smoke bench-shard bench-shard-smoke bench-workload bench-workload-smoke obs-smoke profile fuzz experiments examples clean
 
 all: build vet lint test
 
@@ -53,6 +53,18 @@ bench-json: bench-workload
 bench-workload:
 	$(GO) test -run XXX -bench='BenchmarkWorkload/' -benchtime=4000x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_workload.json
+
+# Sharded vs unsharded end-to-end query cost. The committed BENCH_shard.json
+# comes from this target; on a single-vCPU CI box it documents overhead
+# parity (shards=1 within noise of unsharded), while speedup from shards=2/4
+# needs real cores — see README's multi-core protocol.
+bench-shard:
+	$(GO) test -run XXX -bench='BenchmarkShard/' . \
+		| $(GO) run ./cmd/benchjson -out BENCH_shard.json
+
+# One iteration per shard arm: proves the sharded path still executes.
+bench-shard-smoke:
+	$(GO) test -run XXX -bench='BenchmarkShard/' -benchtime=1x .
 
 # One iteration of every benchmark: catches bit-rot without measuring.
 bench-smoke:

@@ -53,6 +53,7 @@ func main() {
 		combine     = flag.String("combine", "average", "multi-path combination: average or concat")
 		workers     = flag.Int("workers", 1, "parallel workers for -file query batches")
 		parallelism = flag.Int("parallelism", 0, "intra-query pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
+		shards      = flag.Int("shards", 0, "scatter–gather shards per engine; candidates are range-partitioned and merged deterministically (0 = unsharded)")
 		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
 		timing      = flag.Bool("timing", false, "print per-query timing breakdown and phase trace")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/slow, /debug/events, /debug/requests and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
@@ -180,9 +181,11 @@ func main() {
 		netout.WithMaterializer(mat),
 		netout.WithCombination(comb),
 		netout.WithQueryParallelism(*parallelism),
+		netout.WithShards(*shards),
 		netout.WithObs(reg, slow),
 		netout.WithEventSink(events),
 		netout.WithInflight(inflight))
+	defer eng.Close()
 
 	switch {
 	case *serveAddr != "":
@@ -197,7 +200,7 @@ func main() {
 		}
 		if err := runServe(g, serveConfig{
 			addr: *serveAddr, workers: *workers, maxQueue: *maxQueue, timeout: *timeout,
-			parallelism: *parallelism, measure: m, combine: comb, mat: mat,
+			parallelism: *parallelism, shards: *shards, measure: m, combine: comb, mat: mat,
 			reg: reg, slow: slow, events: events, ring: ring, inflight: inflight,
 			quiet: *quiet,
 		}); err != nil {

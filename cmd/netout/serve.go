@@ -39,6 +39,7 @@ type serveConfig struct {
 	maxQueue    int
 	timeout     time.Duration
 	parallelism int
+	shards      int
 	measure     netout.Measure
 	combine     netout.Combination
 	mat         netout.Materializer
@@ -58,6 +59,7 @@ func runServe(g *netout.Graph, cfg serveConfig) error {
 		Combination:      cfg.combine,
 		Materializer:     cfg.mat,
 		QueryParallelism: cfg.parallelism,
+		Shards:           cfg.shards,
 		MaxQueue:         cfg.maxQueue,
 		DefaultTimeout:   cfg.timeout,
 		Obs:              cfg.reg,

@@ -38,6 +38,7 @@ var defaultScope = []string{
 	"internal/core/progressive.go",
 	"internal/core/pipeline.go",
 	"internal/core/parallel.go",
+	"internal/core/scatter.go",
 	"cmd/netout",
 }
 

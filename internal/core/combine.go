@@ -50,6 +50,32 @@ func ParseCombination(name string) (Combination, error) {
 // CombineAverage). Queries with a single feature meta-path are unaffected.
 func WithCombination(c Combination) Option { return func(e *Engine) { e.combine = c } }
 
+// concatOne is concatVectors for a single candidate — vecs[m] is the
+// candidate's vector under feature path m — used by the shard tier's fused
+// loop, which holds one candidate's vectors at a time. The arithmetic
+// (weight scaling, block offsets, append order) replicates concatVectors
+// exactly so sharded CombineConcat scores stay bit-identical.
+func concatOne(vecs []sparse.Vector, weights []float64, stride int32) sparse.Vector {
+	var totalNNZ int
+	for m := range vecs {
+		totalNNZ += vecs[m].NNZ()
+	}
+	v := sparse.Vector{
+		Idx: make([]int32, 0, totalNNZ),
+		Val: make([]float64, 0, totalNNZ),
+	}
+	for m := range vecs {
+		offset := int32(m) * stride
+		src := vecs[m]
+		w := weights[m]
+		for k := range src.Idx {
+			v.Idx = append(v.Idx, src.Idx[k]+offset)
+			v.Val = append(v.Val, w*src.Val[k])
+		}
+	}
+	return v
+}
+
 // concatVectors shifts each path's vector into its own coordinate block of
 // width `stride` and concatenates, scaling values by the path weight.
 // perPath[i][m] is candidate i's vector under feature path m.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +45,13 @@ type Engine struct {
 	// materializer view and traversal scratch are the expensive parts of
 	// query setup, and both are reusable as-is.
 	workerPool sync.Pool
+	// shards is the configured shard count (WithShards); the resident
+	// scatter–gather group behind it starts lazily on first sharded query
+	// (shardOnce) and is torn down by Close. shardGrp stays nil when the
+	// materializer has no concurrent views — the engine then runs unsharded.
+	shards    int
+	shardOnce sync.Once
+	shardGrp  *shardGroup
 
 	// obs and slow, when set via WithObs, receive per-query metrics (latency
 	// histograms, outcome counters, vector counters) and slow-query entries.
@@ -193,14 +201,24 @@ type Result struct {
 	// cover only the processed prefix; CandidateCount still reports the full
 	// |Sc|. Cancellation never degrades — a cancelled caller gets the error.
 	Partial bool
-	Timing  Timing
+	// Shards is the per-shard accounting of a sharded execution (WithShards),
+	// one entry per shard in index order; nil for unsharded queries. On a
+	// Partial result the entries with Partial=true are the shards that
+	// degraded — a deadline-expired or panicking shard contributes the exact
+	// prefix of candidates it fully scored (Done of Candidates) instead of
+	// failing the query.
+	Shards []ShardStatus
+	Timing Timing
 	// Trace is the per-phase breakdown (parse → validate → plan →
 	// materialize → score → rank); phases recorded contiguously, so their
 	// durations sum to the trace total. The parse span is present only for
 	// queries entered as text (Execute/ExecuteContext). Under the parallel
 	// pipeline scoring is fused into the materialize span and the score
 	// span is (near-)empty; the span's vector and cache counters aggregate
-	// all workers and match the sequential execution exactly.
+	// all workers and match the sequential execution exactly. Sharded
+	// execution replaces materialize → score → rank with reduce (reference
+	// side, on the coordinator) → scatter (per-shard fused scoring) → merge
+	// (k-way merge), plus one ShardSpan per shard on the trace.
 	Trace *obs.Trace
 }
 
@@ -283,15 +301,35 @@ func (e *Engine) observeQuery(ctx context.Context, tr *obs.Tracer, q *oql.Query,
 			e.obs.Counter(`netout_query_errors_total{outcome="`+xerr.Outcome(err)+`"}`, errorsHelp).Inc()
 		}
 		e.obs.Histogram("netout_query_seconds", "Query wall time.", nil).Observe(trace.Total.Seconds())
+		var traversed, indexed int64
 		for _, s := range trace.Spans {
 			e.obs.Histogram(`netout_query_phase_seconds{phase="`+s.Phase+`"}`,
 				"Per-phase query wall time.", nil).Observe(s.Duration.Seconds())
+			// Summing across spans covers both phase shapes: unsharded
+			// queries attribute all vector work to the materialize span,
+			// sharded ones split it between reduce and scatter.
+			traversed += s.Stats.TraversedVectors
+			indexed += s.Stats.IndexedVectors
 		}
-		if s, ok := trace.Span("materialize"); ok {
+		if traversed+indexed > 0 {
 			e.obs.Counter("netout_vectors_traversed_total",
-				"Neighbor vectors materialized by network traversal.").Add(s.Stats.TraversedVectors)
+				"Neighbor vectors materialized by network traversal.").Add(traversed)
 			e.obs.Counter("netout_vectors_indexed_total",
-				"Neighbor vectors served from an index or cache.").Add(s.Stats.IndexedVectors)
+				"Neighbor vectors served from an index or cache.").Add(indexed)
+		}
+		if res != nil && len(res.Shards) > 0 {
+			for _, st := range res.Shards {
+				e.obs.Counter(`netout_shard_queries_total{shard="`+strconv.Itoa(st.Shard)+`"}`,
+					"Per-shard requests served by the scatter-gather tier.").Inc()
+				if st.Partial {
+					e.obs.Counter("netout_shard_partials_total",
+						"Shards that contributed an exact-prefix partial to a degraded query.").Inc()
+				}
+			}
+			if s, ok := trace.Span("merge"); ok {
+				e.obs.Histogram("netout_shard_merge_seconds",
+					"Coordinator k-way merge time for sharded queries.", nil).Observe(s.Duration.Seconds())
+			}
 		}
 	}
 	if e.slow != nil {
@@ -338,6 +376,16 @@ func (e *Engine) emitEvent(ctx context.Context, trace *obs.Trace, query string, 
 			IndexedVectors:   s.Stats.IndexedVectors,
 			CacheHits:        s.Stats.CacheHits,
 			CacheMisses:      s.Stats.CacheMisses,
+		})
+	}
+	for _, ss := range trace.Shards {
+		ev.Shards = append(ev.Shards, obs.EventShard{
+			Shard:      ss.Shard,
+			DurationUs: ss.Duration.Microseconds(),
+			Candidates: ss.Candidates,
+			Done:       ss.Done,
+			Partial:    ss.Partial,
+			Err:        ss.Err,
 		})
 	}
 	if err != nil {
@@ -488,6 +536,13 @@ func (e *Engine) executeQuery(ctx context.Context, q *oql.Query, tr *obs.Tracer)
 	ifq.SetPhase("materialize")
 
 	plan := &queryPlan{q: q, cands: cands, refs: refs, paths: paths, weights: weights, ifq: ifq}
+	if sg := e.shardGroup(); sg != nil {
+		if err := e.executeSharded(ctx, plan, res, tr, sg); err != nil {
+			return nil, err
+		}
+		res.Timing.Total = time.Since(start)
+		return res, nil
+	}
 	if ws, ok := e.pipelineWorkers(len(cands)); ok {
 		err := e.executeParallel(ctx, plan, res, tr, ws)
 		e.releaseWorkers(ws)

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync/atomic"
@@ -701,5 +702,170 @@ func TestRegisterMaterializerMetricsIdempotent(t *testing.T) {
 	}
 	if !strings.Contains(scrape, fmt.Sprintf("netout_cache_hits_total %d", cs.Hits)) {
 		t.Fatalf("scrape does not match live CacheStats (%d hits):\n%s", cs.Hits, scrape)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scatter–gather shard tier faults
+
+// One panicking shard must be isolated: the other shards' exact results are
+// merged into a Partial result with per-shard accounting, instead of the
+// panic failing the query whole (the unsharded behavior) or killing the
+// process. The hook counter skips the coordinator's nA reference loads, so
+// the panic fires inside exactly one shard's scoring loop.
+func TestShardPanicIsolatesToPartial(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(9)))
+	full, err := NewEngine(g).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := NewEngine(g).CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(cands)
+	var loads atomic.Int64
+	fm := &faultMat{inner: NewBaseline(g), hook: func(metapath.Path, hin.VertexID) {
+		if loads.Add(1) == int64(nA)+2 {
+			panic("injected shard fault")
+		}
+	}}
+	eng := NewEngine(g, WithMaterializer(fm), WithShards(2))
+	defer eng.Close()
+	res, err := eng.Execute(faultQuery)
+	if err != nil {
+		t.Fatalf("Execute: %v, want the panic degraded to a partial result", err)
+	}
+	if !res.Partial {
+		t.Fatal("res.Partial = false, want true")
+	}
+	if len(res.Shards) != 2 {
+		t.Fatalf("len(res.Shards) = %d, want 2", len(res.Shards))
+	}
+	panicked := 0
+	for _, st := range res.Shards {
+		if st.Partial {
+			panicked++
+			if !strings.Contains(st.Err, "injected shard fault") {
+				t.Errorf("shard %d error %q does not carry the panic value", st.Shard, st.Err)
+			}
+			continue
+		}
+		if st.Done != st.Candidates || st.Err != "" {
+			t.Errorf("healthy shard %d incomplete: %+v", st.Shard, st)
+		}
+	}
+	if panicked != 1 {
+		t.Fatalf("%d shards marked partial, want exactly 1: %+v", panicked, res.Shards)
+	}
+	// Every surviving entry is exact: bit-identical to the full run's score
+	// for the same vertex.
+	fullScore := map[hin.VertexID]float64{}
+	for _, e := range full.Entries {
+		fullScore[e.Vertex] = e.Score
+	}
+	for _, e := range res.Entries {
+		want, ok := fullScore[e.Vertex]
+		if !ok || math.Float64bits(want) != math.Float64bits(e.Score) {
+			t.Fatalf("partial score for %s = %v, want the full run's %v", e.Name, e.Score, want)
+		}
+	}
+}
+
+// A shard tripping the query deadline degrades to a merged partial: the
+// poll budget admits the reference reduction plus exactly K candidate
+// checks across the shards, so K candidates total are scored (exact,
+// bit-identical to the full run) and the rest are accounted as not done.
+func TestShardDeadlineDegradesToMergedPartial(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(13)))
+	full, err := NewEngine(g).Execute(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := NewEngine(g).CandidateSet(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nA := len(cands)
+	K := nA / 2
+	if K < 1 {
+		t.Fatalf("graph too small: %d candidates", nA)
+	}
+	eng := NewEngine(g, WithShards(2))
+	defer eng.Close()
+	// Poll budget mirrors TestSequentialDeadlinePartialPrefix: 1 at query
+	// start, nA across the coordinator's reference reduction, then K
+	// candidate checks shared by the shards.
+	ctx := newDeadlineAfter(int64(1 + nA + K))
+	res, err := eng.ExecuteContext(ctx, faultQuery)
+	if err != nil {
+		t.Fatalf("ExecuteContext: %v, want a degraded partial result", err)
+	}
+	if !res.Partial {
+		t.Fatal("res.Partial = false, want true")
+	}
+	expired, totalDone := 0, 0
+	for _, st := range res.Shards {
+		totalDone += st.Done
+		if st.Partial {
+			expired++
+			if !strings.Contains(st.Err, "deadline") {
+				t.Errorf("shard %d error %q, want a deadline classification", st.Shard, st.Err)
+			}
+		}
+	}
+	if expired == 0 {
+		t.Fatalf("no shard marked partial: %+v", res.Shards)
+	}
+	if totalDone != K {
+		t.Fatalf("shards scored %d candidates total, want exactly the %d-poll budget", totalDone, K)
+	}
+	fullScore := map[hin.VertexID]float64{}
+	for _, e := range full.Entries {
+		fullScore[e.Vertex] = e.Score
+	}
+	for _, e := range res.Entries {
+		want, ok := fullScore[e.Vertex]
+		if !ok || math.Float64bits(want) != math.Float64bits(e.Score) {
+			t.Fatalf("partial score for %s = %v, want the full run's %v", e.Name, e.Score, want)
+		}
+	}
+
+	// Degradation is NetOut-only (prefix scores under the relative measures
+	// are not exact), exactly like the unsharded contract: the same expiry
+	// under PathSim fails the query instead.
+	psEng := NewEngine(g, WithMeasure(MeasurePathSim), WithShards(2))
+	defer psEng.Close()
+	if _, err := psEng.ExecuteContext(newDeadlineAfter(int64(1+nA+K)), faultQuery); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PathSim sharded deadline err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Executing on a Close()d sharded engine is a caller bug that must surface
+// as a recovered *PanicError — never a hang or a process crash. Close
+// before first use simply declines sharding: the engine keeps answering
+// unsharded.
+func TestShardedEngineCloseSemantics(t *testing.T) {
+	g := randomBibGraph(rand.New(rand.NewSource(17)))
+
+	// Close before any query: no group ever starts; queries run unsharded.
+	pre := NewEngine(g, WithShards(3))
+	pre.Close()
+	res, err := pre.Execute(faultQuery)
+	if err != nil {
+		t.Fatalf("Execute after early Close: %v", err)
+	}
+	if len(res.Shards) != 0 {
+		t.Fatalf("closed-before-use engine still sharded: %+v", res.Shards)
+	}
+
+	// Close after use: the next query fails with a recovered panic.
+	eng := NewEngine(g, WithShards(3))
+	if _, err := eng.Execute(faultQuery); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := eng.Execute(faultQuery); !IsPanicError(err) {
+		t.Fatalf("Execute after Close: %v, want a *PanicError", err)
 	}
 }

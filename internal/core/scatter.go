@@ -1,0 +1,534 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/obs"
+	"netout/internal/sparse"
+	"netout/internal/xerr"
+)
+
+// The scatter–gather shard tier (ROADMAP item 1, single-process form). The
+// candidate side of a query partitions into S contiguous target-type vertex
+// ranges; each shard is a resident goroutine owning its own materializer
+// view (a private arena view for PM/SPM, a warm-shared handle for the
+// cached strategy) that scores its local candidates with the fused
+// materialize+score loop into a bounded top-n heap. The reference side
+// reduces ONCE on the coordinator via the refScorer and is broadcast
+// read-only; the coordinator then performs a deterministic k-way merge of
+// the per-shard rankings under the established (score, vertex) total order.
+//
+// Determinism contract, mirroring pipeline.go: for any shard count the
+// sharded execution produces the SAME Entries and Skipped as unsharded
+// execution, bit for bit.
+//
+//   - Scores: the reference reduction is built sequentially on the
+//     coordinator in the sequential path's exact order, so the aggregate's
+//     floating-point association is identical; each candidate's combination
+//     arithmetic (queryScorers.score) replicates the sequential operations
+//     operation for operation, and no arithmetic ever crosses candidates.
+//   - Ranking: (score, vertex) is a strict total order over a query's
+//     candidates (entryBefore), so the global top-k set and its sorted
+//     order are unique, and a k-way merge of per-shard bounded top-k lists
+//     reconstructs exactly what one selector over all candidates retains.
+//   - Skipped: shard ranges are contiguous in the ascending candidate
+//     order, so concatenating per-shard skip lists in shard order is the
+//     sequential skip order.
+//
+// Degradation contract, mirroring guard.go: a shard whose execution expires
+// its deadline or panics contributes the exact prefix of candidates it
+// fully scored (NetOut only — prefix scores are exact because the measure
+// is separable once the broadcast reference aggregate is fixed) and the
+// query completes with Result.Partial=true plus per-shard accounting in
+// Result.Shards, instead of failing. Cancellation never degrades, and
+// non-degradable shard errors still fail the query. Unlike unsharded
+// execution, a panic is isolated to the shard it struck: the other shards'
+// work is exact and is returned.
+
+// ShardProtocolVersion is the protocol revision stamped on every
+// ShardRequest and ShardResponse. The structs below are deliberately
+// transport-agnostic — plain data, no channels, no engine internals in the
+// exported fields — so a follow-up can move shards behind a network
+// boundary (ROADMAP item 5) by serializing exactly these messages; the
+// version field is how a mixed-revision fleet detects skew instead of
+// silently mis-merging.
+const ShardProtocolVersion = 1
+
+// ShardRequest is one shard's share of a scattered query: the full scoring
+// configuration plus the shard's contiguous slice of the ascending
+// candidate set. The reference side is NOT in the request — it reduces once
+// on the coordinator and is broadcast alongside (in-process as the shared
+// read-only queryScorers; over a wire it would serialize as one aggregate
+// vector per feature path for the separable measures, or the reference
+// vectors themselves for PathSim).
+type ShardRequest struct {
+	Version int
+	// QueryID is the serving layer's request ID ("" outside serving).
+	QueryID string
+	// Shard is the target shard index in [0, S).
+	Shard int
+	// TopK bounds the shard's local selection (0 = unbounded); the
+	// coordinator merges per-shard top-k lists into the global top k.
+	TopK    int
+	Measure Measure
+	Combine Combination
+	Weights []float64
+	Paths   []metapath.Path
+	// Candidates is this shard's contiguous range of the query's candidate
+	// set. Ranges across shards are disjoint and cover the set in ascending
+	// vertex order (hin.PartitionVertices).
+	Candidates []hin.VertexID
+}
+
+// ShardResponse is one shard's reply: its local ranking plus the exact
+// progress accounting the coordinator needs to merge or degrade.
+type ShardResponse struct {
+	Version int
+	QueryID string
+	Shard   int
+	// Entries is the shard's bounded top-k over the candidates it scored,
+	// ranked ascending under the (score, vertex) total order.
+	Entries []Entry
+	// Skipped lists processed candidates with zero visibility under every
+	// feature path, in candidate order.
+	Skipped []hin.VertexID
+	// Candidates echoes the size of the shard's slice; Done counts the
+	// candidates fully scored. On a clean run Done == Candidates; on a fault
+	// Entries and Skipped cover exactly the Done-prefix, which is what a
+	// degraded merge keeps.
+	Candidates, Done int
+	// Err and Code classify a shard failure ("" / empty on success). The
+	// typed in-process error (e.g. *PanicError with its stack) travels
+	// alongside for same-process callers; a network transport ships only
+	// these two fields.
+	Err  string
+	Code xerr.Code
+	// Stats is the shard's materializer delta for this request. For the
+	// shared cached strategy the counters are global across shards and the
+	// coordinator uses a whole-phase delta instead.
+	Stats MatStats
+	// Duration is the shard's wall time for this request.
+	Duration time.Duration
+
+	err error
+}
+
+// shardCall couples a versioned ShardRequest with the in-process execution
+// state a network transport would reconstruct on its side of the wire: the
+// query's context, the broadcast reference reduction, and the reply channel.
+type shardCall struct {
+	req     *ShardRequest
+	ctx     context.Context
+	scorers *queryScorers
+	reply   chan<- *ShardResponse
+}
+
+// shardRunner is one resident shard: a long-lived goroutine owning a
+// private materializer view, serving one shardCall at a time. There is no
+// cross-shard locking on the hot path — a runner touches only its own view,
+// selector and scratch; the only shared state is the read-only broadcast
+// reduction (and, for the cached strategy, the internally-synchronized
+// shared cache).
+type shardRunner struct {
+	id    int
+	mat   Materializer
+	calls chan *shardCall
+}
+
+// shardGroup is an engine's resident shard pool.
+type shardGroup struct {
+	runners []*shardRunner
+	// statsShared mirrors the pipeline's accounting split: views of the
+	// cached materializer share counters, so per-shard deltas would
+	// multiply-count and the coordinator takes one whole-phase delta.
+	statsShared bool
+	closed      atomic.Bool
+	wg          sync.WaitGroup
+}
+
+func newShardGroup(e *Engine, n int) (*shardGroup, error) {
+	g := &shardGroup{runners: make([]*shardRunner, n)}
+	_, g.statsShared = e.mat.(*cached)
+	for i := range g.runners {
+		view, err := NewView(e.mat)
+		if err != nil {
+			return nil, err
+		}
+		g.runners[i] = &shardRunner{id: i, mat: view, calls: make(chan *shardCall)}
+	}
+	for _, r := range g.runners {
+		g.wg.Add(1)
+		go func(r *shardRunner) {
+			defer g.wg.Done()
+			for call := range r.calls {
+				call.reply <- r.serve(e, call)
+			}
+		}(r)
+	}
+	return g, nil
+}
+
+// close stops the runners and waits for them to exit. Idempotent.
+func (g *shardGroup) close() {
+	if !g.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, r := range g.runners {
+		close(r.calls)
+	}
+	g.wg.Wait()
+}
+
+// WithShards partitions query execution across n resident shards: the
+// candidate set splits into n contiguous ranges, each scored by a dedicated
+// goroutine with its own materializer view, and the results are k-way
+// merged — bit-identical to unsharded execution for any n (see the
+// determinism contract above). n <= 0 (the default) disables sharding;
+// n == 1 runs the full scatter–gather machinery with a single shard, the
+// honest baseline for measuring the tier's overhead. Sharded engines hold
+// resident goroutines; release them with Close. Sharding replaces the
+// intra-query chunk pipeline (WithQueryParallelism) when both are set.
+func WithShards(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.shards = n
+	}
+}
+
+// Shards returns the configured shard count (0 = unsharded).
+func (e *Engine) Shards() int { return e.shards }
+
+// shardGroup lazily starts the engine's resident shard pool on first use.
+// Construction failure (a materializer without concurrent views) declines
+// sharding permanently and the engine runs unsharded, mirroring
+// pipelineWorkers' fallback.
+func (e *Engine) shardGroup() *shardGroup {
+	if e.shards < 1 {
+		return nil
+	}
+	e.shardOnce.Do(func() {
+		if g, err := newShardGroup(e, e.shards); err == nil {
+			e.shardGrp = g
+		}
+	})
+	return e.shardGrp
+}
+
+// Close releases the engine's resident shard goroutines, waiting for them
+// to exit. Engines without WithShards hold no resident resources and need
+// no Close. Close is idempotent and nil-safe; executing queries on a closed
+// sharded engine is a caller bug (it fails the query with a *PanicError,
+// like any other panic).
+func (e *Engine) Close() {
+	if e == nil {
+		return
+	}
+	e.shardOnce.Do(func() {}) // no group may start after Close
+	if e.shardGrp != nil {
+		e.shardGrp.close()
+	}
+}
+
+// queryScorers is the broadcast reference reduction: one refScorer over the
+// concatenated vectors (CombineConcat) or one per feature path
+// (CombineAverage), built once on the coordinator and shared read-only by
+// every shard. For NetOut/CosSim each refScorer is a single aggregate
+// vector — the "one small message" the network transport will broadcast.
+type queryScorers struct {
+	concat  *refScorer
+	perPath []*refScorer
+	weights []float64
+	stride  int32
+}
+
+func newQueryScorers(measure Measure, combine Combination, refPerPath [][]sparse.Vector, weights []float64, stride int32) *queryScorers {
+	qs := &queryScorers{weights: weights, stride: stride}
+	if combine == CombineConcat {
+		qs.concat = newRefScorer(measure, concatVectors(refPerPath, weights, stride))
+		return qs
+	}
+	qs.perPath = make([]*refScorer, len(refPerPath))
+	for m := range refPerPath {
+		qs.perPath[m] = newRefScorer(measure, refPerPath[m])
+	}
+	return qs
+}
+
+// score combines one candidate's per-path vectors into its outlier score,
+// replicating the sequential combination arithmetic operation for operation
+// (see executeQuery) so sharded scores are bit-identical. ok is false for a
+// candidate with zero visibility under every path (skipped from ranking).
+func (qs *queryScorers) score(vecs []sparse.Vector) (float64, bool) {
+	if qs.concat != nil {
+		s := qs.concat.score(concatOne(vecs, qs.weights, qs.stride))
+		if math.IsNaN(s) {
+			return 0, false
+		}
+		return s, true
+	}
+	var sum, sumW float64
+	ok := false
+	for m, rs := range qs.perPath {
+		s := rs.score(vecs[m])
+		if math.IsNaN(s) {
+			continue
+		}
+		sum += qs.weights[m] * s
+		sumW += qs.weights[m]
+		ok = true
+	}
+	if !ok {
+		return 0, false
+	}
+	if sumW > 0 {
+		sum /= sumW
+	}
+	return sum, true
+}
+
+// serve scores the shard's candidate slice against the broadcast reference
+// reduction: fused materialize+score per candidate, ascending order, into a
+// bounded top-n heap. Failures never escape the shard — a panic or
+// per-vertex error is recorded on the response together with the exact
+// prefix of fully-scored candidates, so the coordinator can degrade the
+// query instead of the fault killing it (or the process).
+func (r *shardRunner) serve(e *Engine, call *shardCall) *ShardResponse {
+	req := call.req
+	start := time.Now()
+	resp := &ShardResponse{
+		Version:    ShardProtocolVersion,
+		QueryID:    req.QueryID,
+		Shard:      req.Shard,
+		Candidates: len(req.Candidates),
+	}
+	base := r.mat.Stats()
+	sel := newTopSelector(req.TopK)
+	err := func() (err error) {
+		defer recoverAsError(&err)
+		vecs := make([]sparse.Vector, len(req.Paths))
+		for i, v := range req.Candidates {
+			for m := range req.Paths {
+				if err := ctxErr(call.ctx); err != nil {
+					return err
+				}
+				vec, mErr := r.mat.NeighborVector(req.Paths[m], v)
+				if mErr != nil {
+					return mErr
+				}
+				vecs[m] = vec
+			}
+			if s, ok := call.scorers.score(vecs); ok {
+				sel.push(Entry{Vertex: v, Name: e.g.Name(v), Score: s})
+			} else {
+				resp.Skipped = append(resp.Skipped, v)
+			}
+			// A candidate interrupted mid-materialization is in neither
+			// Entries nor Skipped; Done advances only past fully-scored ones,
+			// so the response always describes an exact prefix.
+			resp.Done = i + 1
+		}
+		return nil
+	}()
+	resp.Entries = sel.ranked()
+	resp.Stats = r.mat.Stats().Sub(base)
+	resp.Duration = time.Since(start)
+	if err != nil {
+		resp.err = err
+		resp.Err = err.Error()
+		resp.Code = xerr.CodeOf(err)
+	}
+	return resp
+}
+
+// executeSharded runs the materialize/score/rank phases of a planned query
+// on the resident shard group, filling res in place. The trace records the
+// scatter–gather phase shape — reduce (reference side, on the coordinator)
+// → scatter (shard fan-out and local scoring) → merge (k-way merge and skip
+// assembly) — with per-shard sub-spans folded into the trace, the wide
+// event and Result.Shards.
+func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Result, tr *obs.Tracer, sg *shardGroup) error {
+	cands, refs, paths, weights := plan.cands, plan.refs, plan.paths, plan.weights
+
+	// Reference reduction, once on the coordinator: feature-major over the
+	// reference set in the sequential path's exact order, so the broadcast
+	// aggregate's floating-point association is bit-identical to unsharded
+	// execution. A failure here fails the query whole — without the
+	// reduction no shard has a scorer, so there is no prefix to keep.
+	plan.ifq.SetPhase("reduce")
+	matBefore := e.mat.Stats()
+	cacheBefore, _ := CacheStatsOf(e.mat)
+	refPerPath := make([][]sparse.Vector, len(paths))
+	for m := range paths {
+		refPerPath[m] = make([]sparse.Vector, len(refs))
+		for j, v := range refs {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			vec, err := e.mat.NeighborVector(paths[m], v)
+			if err != nil {
+				return err
+			}
+			refPerPath[m][j] = vec
+		}
+	}
+	scorers := newQueryScorers(e.measure, e.combine, refPerPath, weights, int32(e.g.NumVertices()))
+	refPerPath = nil // scorers hold what they need; separable measures free Sr now
+	d := e.mat.Stats().Sub(matBefore)
+	cacheMid, _ := CacheStatsOf(e.mat)
+	res.Timing.NotIndexed += d.TraversalTime
+	res.Timing.Indexed += d.IndexedTime
+	res.Timing.TraversedVectors += d.TraversedVectors
+	res.Timing.IndexedVectors += d.IndexedVectors
+	tr.EndPhase("reduce", obs.SpanStats{
+		TraversedVectors: d.TraversedVectors,
+		IndexedVectors:   d.IndexedVectors,
+		CacheHits:        cacheMid.Hits - cacheBefore.Hits,
+		CacheMisses:      cacheMid.Misses - cacheBefore.Misses,
+	})
+
+	// Scatter: one versioned request per shard over its contiguous range of
+	// the ascending candidate set, then gather every reply. Shards always
+	// reply — panics are recovered inside serve — so the gather cannot hang.
+	plan.ifq.SetPhase("scatter")
+	scatterBase := e.mat.Stats()
+	ranges := hin.PartitionVertices(cands, len(sg.runners))
+	reply := make(chan *ShardResponse, len(sg.runners))
+	rid := obs.RequestIDFrom(ctx)
+	for i, r := range sg.runners {
+		r.calls <- &shardCall{
+			req: &ShardRequest{
+				Version:    ShardProtocolVersion,
+				QueryID:    rid,
+				Shard:      i,
+				TopK:       plan.q.TopK,
+				Measure:    e.measure,
+				Combine:    e.combine,
+				Weights:    weights,
+				Paths:      paths,
+				Candidates: ranges[i],
+			},
+			ctx:     ctx,
+			scorers: scorers,
+			reply:   reply,
+		}
+	}
+	resps := make([]*ShardResponse, len(sg.runners))
+	for range sg.runners {
+		sr := <-reply
+		resps[sr.Shard] = sr
+	}
+	var sd MatStats
+	if sg.statsShared {
+		sd = e.mat.Stats().Sub(scatterBase)
+	} else {
+		for _, sr := range resps {
+			sd = sd.Add(sr.Stats)
+		}
+	}
+	res.Timing.NotIndexed += sd.TraversalTime
+	res.Timing.Indexed += sd.IndexedTime
+	res.Timing.TraversedVectors += sd.TraversedVectors
+	res.Timing.IndexedVectors += sd.IndexedVectors
+	cacheAfter, _ := CacheStatsOf(e.mat)
+	tr.EndPhase("scatter", obs.SpanStats{
+		TraversedVectors: sd.TraversedVectors,
+		IndexedVectors:   sd.IndexedVectors,
+		CacheHits:        cacheAfter.Hits - cacheMid.Hits,
+		CacheMisses:      cacheAfter.Misses - cacheMid.Misses,
+	})
+
+	// Classify shard failures. A deadline-expired or panicking shard
+	// degrades under NetOut — its Done-prefix scores are exact — while
+	// cancellation and real errors fail the query, exactly as unsharded
+	// execution treats them (degradable in guard.go; panic isolation is the
+	// shard tier's addition: the fault is confined to the shard it struck).
+	plan.ifq.SetPhase("merge")
+	mergeStart := time.Now()
+	partial := false
+	totalDone := 0
+	var failErr, degradedErr error
+	for _, sr := range resps {
+		totalDone += sr.Done
+		if sr.err == nil {
+			continue
+		}
+		if e.measure == MeasureNetOut && (degradable(sr.err) || IsPanicError(sr.err)) {
+			partial = true
+			if degradedErr == nil {
+				degradedErr = sr.err
+			}
+			continue
+		}
+		if failErr == nil {
+			failErr = sr.err
+		}
+	}
+	if failErr != nil {
+		return failErr
+	}
+	if partial {
+		if totalDone == 0 {
+			// No shard completed any candidate: there is nothing to degrade
+			// to, so the first failing shard's error stands (the unsharded
+			// empty-prefix rule).
+			return degradedErr
+		}
+		res.Partial = true
+	}
+
+	// Deterministic k-way merge under the (score, vertex) total order, then
+	// per-shard accounting. Skip lists concatenate in shard order, which IS
+	// ascending candidate order (ranges are contiguous).
+	lists := make([][]Entry, len(resps))
+	for i, sr := range resps {
+		lists[i] = sr.Entries
+	}
+	res.Entries = mergeRanked(lists, plan.q.TopK)
+	res.Shards = make([]ShardStatus, len(resps))
+	for i, sr := range resps {
+		res.Skipped = append(res.Skipped, sr.Skipped...)
+		res.Shards[i] = ShardStatus{
+			Shard:      i,
+			Candidates: sr.Candidates,
+			Done:       sr.Done,
+			Partial:    sr.err != nil,
+			Err:        sr.Err,
+			Duration:   sr.Duration,
+		}
+		tr.AddShard(obs.ShardSpan{
+			Shard:      i,
+			Duration:   sr.Duration,
+			Candidates: sr.Candidates,
+			Done:       sr.Done,
+			Partial:    sr.err != nil,
+			Err:        sr.Err,
+		})
+	}
+	tr.EndPhase("merge", obs.SpanStats{})
+	res.Timing.Scoring += time.Since(mergeStart)
+	return nil
+}
+
+// ShardStatus is one shard's per-query accounting on a sharded Result.
+type ShardStatus struct {
+	// Shard is the shard index in [0, S).
+	Shard int
+	// Candidates is the size of the shard's candidate slice; Done counts
+	// the candidates it fully scored (== Candidates for a healthy shard).
+	Candidates, Done int
+	// Partial marks a shard that contributed an exact-prefix partial
+	// instead of completing; Err is its classified error text ("" for a
+	// healthy shard).
+	Partial bool
+	Err     string
+	// Duration is the shard's wall time for this query.
+	Duration time.Duration
+}

@@ -80,6 +80,14 @@ type ServeOptions struct {
 	// for pools sized below the core count that still see huge single
 	// queries.
 	QueryParallelism int
+	// Shards, when > 0, gives every worker engine a resident scatter–gather
+	// shard group (WithShards): a query's candidates split across Shards
+	// goroutines with private materializer views and the results are k-way
+	// merged, bit-identical to unsharded execution. A slow or panicking
+	// shard degrades its query to Partial instead of failing it (NetOut).
+	// Each worker holds its own group, so the pool runs Workers × Shards
+	// resident goroutines; Close releases them.
+	Shards int
 	// MaxQueue, when positive, turns on admission control: at most MaxQueue
 	// queries may be queued waiting for a worker, and further Execute calls
 	// fail fast with ErrOverloaded instead of blocking unboundedly. 0 (the
@@ -201,6 +209,7 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 			WithCombination(opts.Combination),
 			WithMaterializer(mat),
 			WithQueryParallelism(queryPar),
+			WithShards(opts.Shards),
 			WithObs(opts.Obs, opts.SlowLog),
 			WithEventSink(opts.Events),
 			WithInflight(opts.Inflight))
@@ -234,6 +243,9 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 		p.wg.Add(1)
 		go func(eng *Engine) {
 			defer p.wg.Done()
+			// Release the engine's resident shard goroutines (if any) once
+			// the pool drains; a no-op for unsharded engines.
+			defer eng.Close()
 			for job := range p.jobs {
 				p.serveJob(eng, job)
 			}

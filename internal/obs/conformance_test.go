@@ -276,6 +276,12 @@ func TestExpositionConformance(t *testing.T) {
 	reg.Histogram(`netout_http_request_seconds{code="500"}`, "Request latency.", nil).Observe(0.2)
 	// Hostile dynamic label values and HELP text must be escaped, not corrupting.
 	reg.Counter("netout_evil_total{q=\"a\\\"b\\\\c\nd\"}", "Help with \\ and\nnewline.").Inc()
+	// The shard tier's families (core.observeQuery shape): a per-shard
+	// labeled counter, a bare partials counter and the merge histogram.
+	reg.Counter(`netout_shard_queries_total{shard="0"}`, "Shard requests by shard.").Add(5)
+	reg.Counter(`netout_shard_queries_total{shard="1"}`, "Shard requests by shard.").Add(5)
+	reg.Counter("netout_shard_partials_total", "Shard partials.").Inc()
+	reg.Histogram("netout_shard_merge_seconds", "Merge latency.", nil).Observe(0.0004)
 	// The subpath planner's decision family: CounterFunc samples sharing one
 	// family, split by a choice label (core.RegisterMaterializerMetrics shape).
 	planChoices := []string{"full-traverse", "prefix-resume", "persist-intermediate", "kernel-auto", "kernel-dense", "kernel-map"}
@@ -306,12 +312,24 @@ func TestExpositionConformance(t *testing.T) {
 	if g := fams["netout_workers"]; g == nil || g.typ != "gauge" || g.samples[0].value != 4 {
 		t.Fatalf("netout_workers = %+v", g)
 	}
-	for _, fam := range []string{"netout_query_seconds", "netout_http_request_seconds"} {
+	for _, fam := range []string{"netout_query_seconds", "netout_http_request_seconds", "netout_shard_merge_seconds"} {
 		f := fams[fam]
 		if f == nil || f.typ != "histogram" {
 			t.Fatalf("%s family = %+v", fam, f)
 		}
 		checkHistogram(t, fam, f)
+	}
+	sq := fams["netout_shard_queries_total"]
+	if sq == nil || sq.typ != "counter" || len(sq.samples) != 2 {
+		t.Fatalf("netout_shard_queries_total family = %+v", sq)
+	}
+	for _, s := range sq.samples {
+		if s.value != 5 || (s.labels["shard"] != "0" && s.labels["shard"] != "1") {
+			t.Fatalf("netout_shard_queries_total sample = %+v", s)
+		}
+	}
+	if p := fams["netout_shard_partials_total"]; p == nil || p.typ != "counter" || p.samples[0].value != 1 {
+		t.Fatalf("netout_shard_partials_total = %+v", p)
 	}
 	plan := fams["netout_plan_decisions_total"]
 	if plan == nil || plan.typ != "counter" || len(plan.samples) != len(planChoices) {

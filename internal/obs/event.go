@@ -46,6 +46,18 @@ type EventPhase struct {
 	CacheMisses      int64  `json:"cache_misses,omitempty"`
 }
 
+// EventShard is one shard's contribution inside an event: the scatter–
+// gather tier's per-shard progress and outcome, flattened for JSON
+// consumers (mirrors obs.ShardSpan).
+type EventShard struct {
+	Shard      int    `json:"shard"`
+	DurationUs int64  `json:"duration_us"`
+	Candidates int    `json:"candidates"`
+	Done       int    `json:"done"`
+	Partial    bool   `json:"partial,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
 // Event is one wide query event. Every field is flat and machine-readable;
 // one event tells a query's whole story without joining other streams.
 type Event struct {
@@ -71,6 +83,9 @@ type Event struct {
 	// with the materializer counters attributed to each phase.
 	TotalUs int64        `json:"total_us"`
 	Phases  []EventPhase `json:"phases,omitempty"`
+	// Shards is the per-shard breakdown of a sharded (scatter–gather)
+	// execution; absent for unsharded queries.
+	Shards []EventShard `json:"shards,omitempty"`
 	// Kernels counts expansion hops by kernel (merge/dense/map) during the
 	// query, when the materializer exposes its traverser's counters.
 	Kernels map[string]int64 `json:"kernels,omitempty"`

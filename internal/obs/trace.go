@@ -52,9 +52,29 @@ type Trace struct {
 	Total time.Duration
 	// Spans are the phases in execution order.
 	Spans []Span
+	// Shards is the per-shard breakdown of a sharded (scatter–gather)
+	// execution, one entry per shard in index order; empty for unsharded
+	// queries. The shards' wall clocks overlap — they run concurrently
+	// inside the scatter span — so their durations do NOT sum into Total.
+	Shards []ShardSpan
 	// Plan lists the materializer planner's decisions for the query, one
 	// rendered line per feature meta-path (empty when no planner is active).
 	Plan []string
+}
+
+// ShardSpan is one shard's contribution to a scattered query.
+type ShardSpan struct {
+	// Shard is the shard index in [0, S).
+	Shard int
+	// Duration is the shard's wall time for this query.
+	Duration time.Duration
+	// Candidates is the shard's candidate slice size; Done counts the
+	// candidates it fully scored (== Candidates for a healthy shard).
+	Candidates, Done int
+	// Partial marks a shard that contributed an exact-prefix partial; Err
+	// is its classified error text ("" for a healthy shard).
+	Partial bool
+	Err     string
 }
 
 // PhaseSum returns the summed duration of all spans. By construction it
@@ -99,6 +119,17 @@ func (t *Trace) Format() string {
 		}
 		sb.WriteString("\n")
 	}
+	for _, ss := range t.Shards {
+		fmt.Fprintf(&sb, "  shard %-6d %10v  (%d/%d candidates", ss.Shard,
+			ss.Duration.Round(time.Microsecond), ss.Done, ss.Candidates)
+		if ss.Partial {
+			sb.WriteString(", partial")
+		}
+		if ss.Err != "" {
+			fmt.Fprintf(&sb, ", err: %s", ss.Err)
+		}
+		sb.WriteString(")\n")
+	}
 	for _, p := range t.Plan {
 		fmt.Fprintf(&sb, "  %s\n", p)
 	}
@@ -135,6 +166,11 @@ func (tr *Tracer) EndPhase(phase string, st SpanStats) {
 // AddPlan appends one planner decision line to the trace being recorded.
 func (tr *Tracer) AddPlan(note string) {
 	tr.trace.Plan = append(tr.trace.Plan, note)
+}
+
+// AddShard appends one shard's breakdown to the trace being recorded.
+func (tr *Tracer) AddShard(s ShardSpan) {
+	tr.trace.Shards = append(tr.trace.Shards, s)
 }
 
 // Finish seals the trace and returns it. The tracer must not be used

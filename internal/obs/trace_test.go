@@ -44,6 +44,39 @@ func TestTracerContiguousSpans(t *testing.T) {
 	}
 }
 
+func TestTraceShardRendering(t *testing.T) {
+	tr := StartTrace()
+	tr.EndPhase("reduce", SpanStats{})
+	tr.EndPhase("scatter", SpanStats{TraversedVectors: 8})
+	tr.AddShard(ShardSpan{Shard: 0, Duration: 3 * time.Millisecond, Candidates: 5, Done: 5})
+	tr.AddShard(ShardSpan{Shard: 1, Duration: time.Millisecond, Candidates: 5, Done: 2, Partial: true, Err: "context deadline exceeded"})
+	tr.EndPhase("merge", SpanStats{})
+	trace := tr.Finish()
+
+	if len(trace.Shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(trace.Shards))
+	}
+	out := trace.Format()
+	for _, want := range []string{
+		"shard 0", "5/5 candidates",
+		"shard 1", "2/5 candidates", "partial", "err: context deadline exceeded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Healthy shard lines carry neither fault marker.
+	line0 := strings.SplitAfter(out, "\n")[3] // total + 3 phases precede
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "5/5 candidates") {
+			line0 = l
+		}
+	}
+	if strings.Contains(line0, "partial") || strings.Contains(line0, "err:") {
+		t.Errorf("healthy shard line carries fault markers: %q", line0)
+	}
+}
+
 func TestSlowLogRetainsSlowest(t *testing.T) {
 	sl := NewSlowLog(3)
 	if sl.Cap() != 3 {

@@ -218,6 +218,32 @@ func WithMaterializer(m Materializer) EngineOption { return core.WithMaterialize
 // for every n.
 func WithQueryParallelism(n int) EngineOption { return core.WithQueryParallelism(n) }
 
+// WithShards enables the scatter–gather shard tier: the candidate space is
+// range-partitioned into n shards, each a resident goroutine with its own
+// materializer view; a coordinator fans queries out and k-way merges the
+// per-shard rankings. Results are bit-identical to unsharded execution for
+// every n, and a slow or failing shard degrades to an exact-prefix partial
+// instead of failing the query. n <= 0 (the default) disables sharding.
+// Call Engine.Close when done to release the shard goroutines.
+func WithShards(n int) EngineOption { return core.WithShards(n) }
+
+// ShardStatus is one shard's per-query accounting, attached to Result.Shards
+// for sharded executions.
+type ShardStatus = core.ShardStatus
+
+// The versioned, transport-agnostic shard protocol: a coordinator speaks to
+// shards in ShardRequest/ShardResponse pairs. In this release both ends live
+// in one process; the types are the stable contract a network transport
+// will carry later.
+type (
+	ShardRequest  = core.ShardRequest
+	ShardResponse = core.ShardResponse
+)
+
+// ShardProtocolVersion is the current shard protocol version, stamped on
+// every ShardRequest and echoed by every ShardResponse.
+const ShardProtocolVersion = core.ShardProtocolVersion
+
 // NewBaseline returns the traversal-only materializer.
 func NewBaseline(g *Graph) Materializer { return core.NewBaseline(g) }
 
@@ -539,6 +565,7 @@ type (
 	QueryTrace      = obs.Trace
 	TraceSpan       = obs.Span
 	TraceSpanStats  = obs.SpanStats
+	TraceShardSpan  = obs.ShardSpan
 	SlowLog         = obs.SlowLog
 	SlowEntry       = obs.SlowEntry
 )
@@ -560,9 +587,11 @@ func WithObs(reg *MetricsRegistry, slow *SlowLog) EngineOption { return core.Wit
 // Wide-event query journal: one flat JSON record per completed query (ok,
 // error, partial or recovered panic), emitted through an EventSink.
 type (
-	// QueryEvent is one wide event; QueryEventPhase is its per-phase row.
+	// QueryEvent is one wide event; QueryEventPhase is its per-phase row;
+	// QueryEventShard is its per-shard row for sharded executions.
 	QueryEvent      = obs.Event
 	QueryEventPhase = obs.EventPhase
+	QueryEventShard = obs.EventShard
 	// EventSink receives completed query events (must be concurrency-safe).
 	EventSink = obs.EventSink
 	// EventRing retains the last N events in memory for /debug/events.
