@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-smoke bench-shard bench-shard-smoke bench-workload bench-workload-smoke obs-smoke profile fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-smoke bench-shard bench-shard-smoke bench-workload bench-workload-smoke obs-smoke shard-net-smoke profile fuzz experiments examples clean
 
 all: build vet lint test
 
@@ -81,6 +81,13 @@ bench-workload-smoke:
 # traceparent response header and the on-disk JSONL journal.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Boot two `netout -shard-serve` processes plus a coordinator scattering
+# over them: the networked result must equal unsharded execution exactly,
+# both sides must export netout_shard_* metrics, and kill -9 on one shard
+# must degrade the next query to partial instead of failing it.
+shard-net-smoke:
+	sh scripts/shard_net_smoke.sh
 
 # Benchmarks under the profiler: CPU and heap profiles (plus the test binary
 # needed to read them) land in results/ for `go tool pprof`.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"netout"
+	"netout/internal/shardnet"
 	"netout/internal/trie"
 )
 
@@ -54,6 +55,10 @@ func main() {
 		workers     = flag.Int("workers", 1, "parallel workers for -file query batches")
 		parallelism = flag.Int("parallelism", 0, "intra-query pipeline workers (0 = GOMAXPROCS, 1 = sequential)")
 		shards      = flag.Int("shards", 0, "scatter–gather shards per engine; candidates are range-partitioned and merged deterministically (0 = unsharded)")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated shard server addresses; candidates scatter over the network to them instead of in-process shards")
+		shardServe  = flag.Bool("shard-serve", false, "run as a shard server: host this network behind the shard protocol on -shard-listen")
+		shardListen = flag.String("shard-listen", "127.0.0.1:9200", "with -shard-serve: listen address for the shard protocol")
+		drainGrace  = flag.Duration("drain-grace", 5*time.Second, "graceful-shutdown window for in-flight work on SIGINT/SIGTERM (serve, shard-serve and admin servers)")
 		explain     = flag.String("explain", "", "with -query: explain this candidate instead of ranking")
 		timing      = flag.Bool("timing", false, "print per-query timing breakdown and phase trace")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/slow, /debug/events, /debug/requests and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
@@ -67,6 +72,10 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress the banner")
 	)
 	flag.Parse()
+
+	if *shardServe && *serveAddr != "" {
+		log.Fatal("use either -shard-serve or -serve, not both")
+	}
 
 	g, err := loadNetwork(*netPath, *genScale, *genSeed, *quiet)
 	if err != nil {
@@ -152,22 +161,27 @@ func main() {
 	// slow-query log, the event journal, the in-flight table and pprof. It
 	// serves for as long as the process runs, so it is most useful with the
 	// REPL or long query files; one-shot runs still expose their final
-	// counters until exit.
+	// counters until exit. Serve mode always has metrics (the /query front
+	// end and the admin endpoints share one mux), so a -metrics-addr there
+	// is optional — set it to scrape on a separate port.
 	var (
-		reg  *netout.MetricsRegistry
-		slow *netout.SlowLog
+		reg      *netout.MetricsRegistry
+		slow     *netout.SlowLog
+		adminSrv *http.Server
 	)
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *serveAddr != "" {
 		reg = netout.DefaultMetrics()
 		slow = netout.NewSlowLog(16)
 		netout.RegisterProcessMetrics(reg)
 		netout.RegisterMaterializerMetrics(reg, mat)
+	}
+	if *metricsAddr != "" {
 		inflight.RegisterMetrics(reg)
-		srv := &http.Server{Addr: *metricsAddr, Handler: netout.NewAdminMux(reg, slow,
+		adminSrv = hardenedServer(*metricsAddr, netout.NewAdminMux(reg, slow,
 			netout.AdminWithEventRing(ring),
-			netout.AdminWithInflight(inflight))}
+			netout.AdminWithInflight(inflight)))
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
@@ -176,32 +190,46 @@ func main() {
 		}
 	}
 
+	// Remote shard fleet: one lazy-dialing client per -shard-addrs entry.
+	// The clients are shared by every engine and pool worker; transport
+	// failures fold into the exact-prefix Partial contract downstream.
+	var remotes []netout.RemoteShard
+	for _, a := range strings.Split(*shardAddrs, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		cl := shardnet.Dial(a, shardnet.ClientOptions{Obs: reg})
+		defer cl.Close()
+		remotes = append(remotes, cl)
+	}
+
 	eng := netout.NewEngine(g,
 		netout.WithMeasure(m),
 		netout.WithMaterializer(mat),
 		netout.WithCombination(comb),
 		netout.WithQueryParallelism(*parallelism),
 		netout.WithShards(*shards),
+		netout.WithRemoteShards(remotes...),
 		netout.WithObs(reg, slow),
 		netout.WithEventSink(events),
 		netout.WithInflight(inflight))
 	defer eng.Close()
 
 	switch {
-	case *serveAddr != "":
-		// Serve mode always has metrics: the /query front end and the admin
-		// endpoints share one mux, so a -metrics-addr is optional (set it to
-		// scrape on a separate port; materializer registration is idempotent).
-		if reg == nil {
-			reg = netout.DefaultMetrics()
-			slow = netout.NewSlowLog(16)
-			netout.RegisterProcessMetrics(reg)
-			netout.RegisterMaterializerMetrics(reg, mat)
+	case *shardServe:
+		if err := runShardServe(g, mat, shardServeConfig{
+			listen: *shardListen, workers: *workers, queue: *maxQueue,
+			reg: reg, grace: *drainGrace, adminSrv: adminSrv, quiet: *quiet,
+		}); err != nil {
+			log.Fatal(err)
 		}
+	case *serveAddr != "":
 		if err := runServe(g, serveConfig{
 			addr: *serveAddr, workers: *workers, maxQueue: *maxQueue, timeout: *timeout,
-			parallelism: *parallelism, shards: *shards, measure: m, combine: comb, mat: mat,
+			parallelism: *parallelism, shards: *shards, remotes: remotes,
+			measure: m, combine: comb, mat: mat,
 			reg: reg, slow: slow, events: events, ring: ring, inflight: inflight,
+			drainGrace: *drainGrace, adminSrv: adminSrv,
 			quiet: *quiet,
 		}); err != nil {
 			log.Fatal(err)

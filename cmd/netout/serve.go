@@ -7,9 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"netout"
@@ -40,6 +44,7 @@ type serveConfig struct {
 	timeout     time.Duration
 	parallelism int
 	shards      int
+	remotes     []netout.RemoteShard
 	measure     netout.Measure
 	combine     netout.Combination
 	mat         netout.Materializer
@@ -48,10 +53,15 @@ type serveConfig struct {
 	events      netout.EventSink
 	ring        *netout.EventRing
 	inflight    *netout.Inflight
+	drainGrace  time.Duration
+	adminSrv    *http.Server
 	quiet       bool
 }
 
-// runServe starts the pool and blocks serving HTTP on cfg.addr.
+// runServe starts the pool and blocks serving HTTP on cfg.addr until
+// SIGINT/SIGTERM, then drains: in-flight requests get cfg.drainGrace to
+// finish before the server force-closes, and the separate admin endpoint
+// (if any) drains under the same grace.
 func runServe(g *netout.Graph, cfg serveConfig) error {
 	pool, err := netout.NewServePool(g, netout.ServeOptions{
 		Workers:          cfg.workers,
@@ -60,6 +70,7 @@ func runServe(g *netout.Graph, cfg serveConfig) error {
 		Materializer:     cfg.mat,
 		QueryParallelism: cfg.parallelism,
 		Shards:           cfg.shards,
+		RemoteShards:     cfg.remotes,
 		MaxQueue:         cfg.maxQueue,
 		DefaultTimeout:   cfg.timeout,
 		Obs:              cfg.reg,
@@ -71,14 +82,84 @@ func runServe(g *netout.Graph, cfg serveConfig) error {
 		return err
 	}
 	defer pool.Close()
+	lis, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
 	if !cfg.quiet {
 		fmt.Printf("serving queries on http://%s/query (max-queue %d, timeout %v; admin endpoints on the same address)\n",
-			cfg.addr, cfg.maxQueue, cfg.timeout)
+			lis.Addr(), cfg.maxQueue, cfg.timeout)
 	}
-	return http.ListenAndServe(cfg.addr, serveHandler(pool, cfg.reg, cfg.slow,
+	srv := hardenedServer(cfg.addr, serveHandler(pool, cfg.reg, cfg.slow,
 		netout.AdminWithReadiness(pool.Ready),
 		netout.AdminWithEventRing(cfg.ring),
 		netout.AdminWithInflight(cfg.inflight)))
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if !cfg.quiet {
+			fmt.Println("draining ...")
+		}
+		close(stop)
+	}()
+	defer shutdownHTTP(cfg.adminSrv, cfg.drainGrace)
+	return serveAndDrain(srv, lis, stop, cfg.drainGrace)
+}
+
+// hardenedServer wraps h in an http.Server with the timeouts a bare
+// http.ListenAndServe never sets: a client trickling its request header
+// (slowloris) or parking an idle keep-alive connection cannot pin a
+// connection slot forever.
+func hardenedServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serveAndDrain serves srv on lis until stop fires, then shuts down
+// gracefully: the listener closes, in-flight requests get grace to finish,
+// and whatever remains is force-closed. nil means a clean drain; a non-nil
+// error after stop means the grace expired with requests still running.
+func serveAndDrain(srv *http.Server, lis net.Listener, stop <-chan struct{}, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	select {
+	case err := <-done:
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
+}
+
+// shutdownHTTP gracefully stops an auxiliary server (the admin endpoint),
+// force-closing when grace expires. nil-safe, so call sites need not track
+// whether the endpoint was configured.
+func shutdownHTTP(srv *http.Server, grace time.Duration) {
+	if srv == nil {
+		return
+	}
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if srv.Shutdown(ctx) != nil {
+		srv.Close()
+	}
 }
 
 // queryExecutor is the slice of ServePool the handler needs. The seam lets

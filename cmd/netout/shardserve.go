@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netout"
+	"netout/internal/shardnet"
+)
+
+// Shard-server mode (-shard-serve): this process hosts its network behind
+// the shardnet protocol so a coordinator started with -shard-addrs can
+// scatter queries to it. The slice a shard serves is decided per query by
+// the coordinator's candidate partition; every shard therefore loads the
+// same network (same -net/-gen flags) and builds its own index.
+
+type shardServeConfig struct {
+	listen   string
+	workers  int // concurrent request executions (reuses -workers)
+	queue    int // admitted requests waiting beyond workers (reuses -max-queue)
+	reg      *netout.MetricsRegistry
+	grace    time.Duration
+	adminSrv *http.Server
+	quiet    bool
+}
+
+// runShardServe blocks serving shard requests on cfg.listen until
+// SIGINT/SIGTERM, then drains: the shard server finishes in-flight requests
+// (Close waits for them) and the admin endpoint gets cfg.grace to drain.
+func runShardServe(g *netout.Graph, mat netout.Materializer, cfg shardServeConfig) error {
+	srv, err := shardnet.NewServer(g, mat, shardnet.ServerOptions{
+		Workers: cfg.workers,
+		Queue:   cfg.queue,
+		Obs:     cfg.reg,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	if !cfg.quiet {
+		fmt.Printf("shard server on %s (protocol v%d; SIGINT/SIGTERM to drain)\n",
+			lis.Addr(), netout.ShardProtocolVersion)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		if !cfg.quiet {
+			fmt.Println("shard server draining ...")
+		}
+		srv.Close()
+		shutdownHTTP(cfg.adminSrv, cfg.grace)
+	}()
+	return srv.Serve(lis)
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"netout"
+)
+
+// Tests for the serve-mode lifecycle fixes: hardened http.Server timeouts
+// (the bare ListenAndServe had none — slowloris could pin connection slots
+// forever) and signal-driven graceful shutdown that lets in-flight queries
+// finish inside the drain grace.
+
+func TestHardenedServerSetsTimeouts(t *testing.T) {
+	srv := hardenedServer("127.0.0.1:0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris can pin a connection slot forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alives never release their slots")
+	}
+}
+
+// blockingExecutor parks Execute until released, so tests can hold a query
+// in flight across a shutdown.
+type blockingExecutor struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingExecutor) Execute(ctx context.Context, src string) (*netout.Result, error) {
+	close(b.started)
+	select {
+	case <-b.release:
+		return &netout.Result{}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// A query in flight when the stop signal fires completes with a 200: the
+// drain closes the listener but waits for active requests before returning.
+func TestServeAndDrainWaitsForInflightQuery(t *testing.T) {
+	ex := &blockingExecutor{started: make(chan struct{}), release: make(chan struct{})}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hardenedServer(lis.Addr().String(), serveHandler(ex, nil, nil))
+	stop := make(chan struct{})
+	drained := make(chan error, 1)
+	go func() { drained <- serveAndDrain(srv, lis, stop, 5*time.Second) }()
+
+	type httpOutcome struct {
+		status int
+		err    error
+	}
+	got := make(chan httpOutcome, 1)
+	go func() {
+		resp, err := http.Get("http://" + lis.Addr().String() + "/query?q=x")
+		if err != nil {
+			got <- httpOutcome{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		got <- httpOutcome{resp.StatusCode, nil}
+	}()
+
+	<-ex.started
+	close(stop)
+	// The drain must be blocked on the in-flight request, not returning
+	// with the query abandoned.
+	select {
+	case err := <-drained:
+		t.Fatalf("serveAndDrain returned %v with a query still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(ex.release)
+	if o := <-got; o.err != nil || o.status != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status %d, err %v; want 200", o.status, o.err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	// The listener is closed: new connections must be refused.
+	if _, err := net.DialTimeout("tcp", lis.Addr().String(), time.Second); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// A request that outlives the grace is force-closed and serveAndDrain
+// reports the failed drain instead of hanging.
+func TestServeAndDrainForceClosesAfterGrace(t *testing.T) {
+	ex := &blockingExecutor{started: make(chan struct{}), release: make(chan struct{})}
+	defer close(ex.release)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hardenedServer(lis.Addr().String(), serveHandler(ex, nil, nil))
+	stop := make(chan struct{})
+	drained := make(chan error, 1)
+	go func() { drained <- serveAndDrain(srv, lis, stop, 50*time.Millisecond) }()
+	go http.Get("http://" + lis.Addr().String() + "/query?q=x")
+	<-ex.started
+	close(stop)
+	select {
+	case err := <-drained:
+		if err == nil {
+			t.Fatal("grace expired with a request running, want a non-nil drain error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveAndDrain hung past the grace")
+	}
+}
+
+// An error before the stop signal (e.g. the listener dying) surfaces
+// immediately rather than waiting on a drain that will never be requested.
+func TestServeAndDrainSurfacesServeError(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hardenedServer(lis.Addr().String(), http.NewServeMux())
+	stop := make(chan struct{})
+	defer close(stop)
+	done := make(chan error, 1)
+	go func() { done <- serveAndDrain(srv, lis, stop, time.Second) }()
+	lis.Close()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("serve error = %v, want the closed-listener failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveAndDrain did not surface the listener failure")
+	}
+}
+
+func TestShutdownHTTPNilSafe(t *testing.T) {
+	shutdownHTTP(nil, time.Second) // must not panic
+}
+
+func TestShutdownHTTPDrainsAuxServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hardenedServer(lis.Addr().String(), http.NewServeMux())
+	go srv.Serve(lis)
+	// Confirm it serves, then drain and confirm it stopped.
+	if resp, err := http.Get("http://" + lis.Addr().String() + "/metrics"); err == nil {
+		resp.Body.Close()
+	}
+	shutdownHTTP(srv, time.Second)
+	if _, err := net.DialTimeout("tcp", lis.Addr().String(), time.Second); err == nil {
+		t.Error("aux server still accepting after shutdownHTTP")
+	}
+}

@@ -11,8 +11,10 @@
 //	go run ./cmd/xerrlint [files-or-dirs...]
 //
 // With no arguments it checks the default serving scope: the serving files
-// of internal/core plus all of cmd/netout (test files are always exempt —
-// tests legitimately build anonymous errors to probe classification).
+// of internal/core, all of internal/shardnet (wire errors must carry their
+// taxonomy code to survive serialization) and all of cmd/netout (test
+// files are always exempt — tests legitimately build anonymous errors to
+// probe classification).
 // It prints one finding per line and exits 1 when any are found.
 package main
 
@@ -39,6 +41,7 @@ var defaultScope = []string{
 	"internal/core/pipeline.go",
 	"internal/core/parallel.go",
 	"internal/core/scatter.go",
+	"internal/shardnet",
 	"cmd/netout",
 }
 

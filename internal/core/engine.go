@@ -52,6 +52,10 @@ type Engine struct {
 	shards    int
 	shardOnce sync.Once
 	shardGrp  *shardGroup
+	// remotes, when set via WithRemoteShards, scatter queries across
+	// out-of-process shards instead of resident goroutines; they take
+	// precedence over shards. The engine does not own the clients.
+	remotes []RemoteShard
 
 	// obs and slow, when set via WithObs, receive per-query metrics (latency
 	// histograms, outcome counters, vector counters) and slow-query entries.
@@ -381,6 +385,7 @@ func (e *Engine) emitEvent(ctx context.Context, trace *obs.Trace, query string, 
 	for _, ss := range trace.Shards {
 		ev.Shards = append(ev.Shards, obs.EventShard{
 			Shard:      ss.Shard,
+			Addr:       ss.Addr,
 			DurationUs: ss.Duration.Microseconds(),
 			Candidates: ss.Candidates,
 			Done:       ss.Done,

@@ -14,25 +14,29 @@ import (
 	"netout/internal/xerr"
 )
 
-// The scatter–gather shard tier (ROADMAP item 1, single-process form). The
-// candidate side of a query partitions into S contiguous target-type vertex
-// ranges; each shard is a resident goroutine owning its own materializer
-// view (a private arena view for PM/SPM, a warm-shared handle for the
-// cached strategy) that scores its local candidates with the fused
-// materialize+score loop into a bounded top-n heap. The reference side
-// reduces ONCE on the coordinator via the refScorer and is broadcast
-// read-only; the coordinator then performs a deterministic k-way merge of
-// the per-shard rankings under the established (score, vertex) total order.
+// The scatter–gather shard tier (ROADMAP item 1). The candidate side of a
+// query partitions into S contiguous target-type vertex ranges; each shard —
+// a resident goroutine in-process, or a shard process behind a RemoteShard
+// client — owns its own materializer view (a private arena view for PM/SPM,
+// a warm-shared handle for the cached strategy) and scores its local
+// candidates with the fused materialize+score loop into a bounded top-n
+// heap. The reference side reduces ONCE on the coordinator via the refScorer
+// and is broadcast read-only (in-process as a shared pointer; over the wire
+// as a ShardBroadcast); the coordinator then performs a deterministic k-way
+// merge of the per-shard rankings under the established (score, vertex)
+// total order.
 //
-// Determinism contract, mirroring pipeline.go: for any shard count the
-// sharded execution produces the SAME Entries and Skipped as unsharded
-// execution, bit for bit.
+// Determinism contract, mirroring pipeline.go: for any shard count — local
+// or remote — the sharded execution produces the SAME Entries and Skipped as
+// unsharded execution, bit for bit.
 //
 //   - Scores: the reference reduction is built sequentially on the
-//     coordinator in the sequential path's exact order, so the aggregate's
-//     floating-point association is identical; each candidate's combination
-//     arithmetic (queryScorers.score) replicates the sequential operations
-//     operation for operation, and no arithmetic ever crosses candidates.
+//     coordinator in the sequential path's exact order, so the broadcast
+//     aggregate's floating-point association is identical; each candidate's
+//     combination arithmetic (queryScorers.score) replicates the sequential
+//     operations operation for operation, and no arithmetic ever crosses
+//     candidates. The wire codec ships floats as their exact IEEE-754 bits
+//     (math.Float64bits), so crossing a network boundary changes nothing.
 //   - Ranking: (score, vertex) is a strict total order over a query's
 //     candidates (entryBefore), so the global top-k set and its sorted
 //     order are unique, and a k-way merge of per-shard bounded top-k lists
@@ -46,27 +50,35 @@ import (
 // fully scored (NetOut only — prefix scores are exact because the measure
 // is separable once the broadcast reference aggregate is fixed) and the
 // query completes with Result.Partial=true plus per-shard accounting in
-// Result.Shards, instead of failing. Cancellation never degrades, and
-// non-degradable shard errors still fail the query. Unlike unsharded
-// execution, a panic is isolated to the shard it struck: the other shards'
-// work is exact and is returned.
+// Result.Shards, instead of failing. A REMOTE shard additionally degrades
+// on transport loss and overload (UNAVAILABLE, RESOURCE_EXHAUSTED, and
+// remote defects — the network tier's equivalents of a shard dying
+// mid-query): its prefix is whatever the reply carried, possibly empty.
+// Cancellation never degrades, protocol skew always fails the query, and
+// non-degradable shard errors still fail it. Unlike unsharded execution, a
+// panic is isolated to the shard it struck: the other shards' work is exact
+// and is returned.
 
 // ShardProtocolVersion is the protocol revision stamped on every
 // ShardRequest and ShardResponse. The structs below are deliberately
 // transport-agnostic — plain data, no channels, no engine internals in the
-// exported fields — so a follow-up can move shards behind a network
-// boundary (ROADMAP item 5) by serializing exactly these messages; the
-// version field is how a mixed-revision fleet detects skew instead of
-// silently mis-merging.
-const ShardProtocolVersion = 1
+// exported fields — and internal/shardnet serializes exactly these messages
+// across the process boundary; the version field is how a mixed-revision
+// fleet detects skew instead of silently mis-merging. Version 2 added the
+// Kind field to ShardResponse (v1 was the PR 9 in-process protocol and
+// never had a serialized form, so there is no v1 peer to interoperate
+// with). Both sides enforce the version: a shard server rejects a request
+// stamped with a foreign version, and the coordinator's gather loop fails
+// the query on a reply that does not echo its own.
+const ShardProtocolVersion = 2
 
 // ShardRequest is one shard's share of a scattered query: the full scoring
 // configuration plus the shard's contiguous slice of the ascending
 // candidate set. The reference side is NOT in the request — it reduces once
 // on the coordinator and is broadcast alongside (in-process as the shared
-// read-only queryScorers; over a wire it would serialize as one aggregate
-// vector per feature path for the separable measures, or the reference
-// vectors themselves for PathSim).
+// read-only queryScorers; over the wire as the ShardBroadcast, one
+// aggregate vector per feature path for the separable measures, the
+// visibility-filtered reference vectors for PathSim).
 type ShardRequest struct {
 	Version int
 	// QueryID is the serving layer's request ID ("" outside serving).
@@ -103,12 +115,16 @@ type ShardResponse struct {
 	// Entries and Skipped cover exactly the Done-prefix, which is what a
 	// degraded merge keeps.
 	Candidates, Done int
-	// Err and Code classify a shard failure ("" / empty on success). The
-	// typed in-process error (e.g. *PanicError with its stack) travels
+	// Err, Code and Kind classify a shard failure ("" / zero on success).
+	// The typed in-process error (e.g. *PanicError with its stack) travels
 	// alongside for same-process callers; a network transport ships only
-	// these two fields.
+	// these three fields and the coordinator reconstructs a classified
+	// error with xerr.FromWire — Kind is what lets a remote defect (a shard
+	// panic whose *PanicError cannot cross the wire) keep degrading like a
+	// local one.
 	Err  string
 	Code xerr.Code
+	Kind xerr.Kind
 	// Stats is the shard's materializer delta for this request. For the
 	// shared cached strategy the counters are global across shards and the
 	// coordinator uses a whole-phase delta instead.
@@ -117,70 +133,209 @@ type ShardResponse struct {
 	Duration time.Duration
 
 	err error
+	// remote and addr mark a reply that crossed a process boundary; the
+	// coordinator widens the degradation rule for those (transport loss and
+	// overload fold into Partial) and stamps the address into the per-shard
+	// accounting.
+	remote bool
+	addr   string
 }
 
-// shardCall couples a versioned ShardRequest with the in-process execution
-// state a network transport would reconstruct on its side of the wire: the
-// query's context, the broadcast reference reduction, and the reply channel.
+// ShardBroadcast is the reference reduction in wire form: everything a
+// shard needs from the reference side, already reduced on the coordinator
+// so the O(|Sr|) work happens once per query, not once per shard. For
+// NetOut/CosSim each entry is a single aggregate vector (Equation (1) is
+// separable); for PathSim it is the visibility-filtered reference vectors
+// with their hoisted self-visibilities. CombineConcat broadcasts one entry
+// over the concatenated space; CombineAverage one entry per feature path.
+type ShardBroadcast struct {
+	// Stride is the concatenation stride (the coordinator graph's vertex
+	// count), needed by CombineConcat to rebuild candidate concatenation
+	// with the same index arithmetic.
+	Stride int32
+	Refs   []ShardRefState
+}
+
+// ShardRefState is one refScorer's broadcastable state.
+type ShardRefState struct {
+	// Agg is the separable reference aggregate (NetOut/CosSim); zero for
+	// PathSim.
+	Agg sparse.Vector
+	// Refs and RefVis are PathSim's pairwise inputs (visibility-filtered
+	// reference vectors and their κ(vj,vj)); nil for the separable measures.
+	Refs   []sparse.Vector
+	RefVis []float64
+}
+
+func (st ShardRefState) scorer(m Measure) *refScorer {
+	return &refScorer{m: m, s: st.Agg, refs: st.Refs, refVis: st.RefVis}
+}
+
+// RemoteShard is a coordinator-side client for one out-of-process shard.
+// Call executes one shard request against the remote process and returns
+// its reply; implementations own connection management, retry/backoff,
+// hedging and deadline propagation (internal/shardnet.Client). Call must be
+// safe for concurrent use — one client serves every ServePool worker — and
+// should return an error only for transport-level faults (the remote
+// expressing a failure returns a response with Err/Code/Kind set instead).
+type RemoteShard interface {
+	Call(ctx context.Context, req *ShardRequest, b *ShardBroadcast) (*ShardResponse, error)
+	// Addr names the remote endpoint for accounting and metrics.
+	Addr() string
+}
+
+// shardCall couples a versioned ShardRequest with the execution state its
+// side of the boundary needs: the query's context, the broadcast reference
+// reduction (as the in-process scorers, plus its wire form when the group
+// is remote), and the reply channel.
 type shardCall struct {
 	req     *ShardRequest
 	ctx     context.Context
 	scorers *queryScorers
+	bcast   *ShardBroadcast
 	reply   chan<- *ShardResponse
 }
 
-// shardRunner is one resident shard: a long-lived goroutine owning a
-// private materializer view, serving one shardCall at a time. There is no
-// cross-shard locking on the hot path — a runner touches only its own view,
-// selector and scratch; the only shared state is the read-only broadcast
-// reduction (and, for the cached strategy, the internally-synchronized
-// shared cache).
+// shardCaller is the seam between the coordinator's scatter loop and a
+// shard's execution: the resident in-process goroutine (shardRunner) and
+// the remote client adapter (remoteRunner) both implement it. dispatch must
+// not block on the shard's work (the reply channel is buffered) and every
+// dispatched call MUST eventually produce exactly one reply — the gather
+// loop counts on it.
+type shardCaller interface {
+	dispatch(*shardCall)
+	stop()
+}
+
+// shardRunner is one resident in-process shard: a long-lived goroutine
+// owning a private materializer view, serving one shardCall at a time.
+// There is no cross-shard locking on the hot path — a runner touches only
+// its own view, selector and scratch; the only shared state is the
+// read-only broadcast reduction (and, for the cached strategy, the
+// internally-synchronized shared cache).
 type shardRunner struct {
 	id    int
 	mat   Materializer
 	calls chan *shardCall
 }
 
-// shardGroup is an engine's resident shard pool.
+func (r *shardRunner) dispatch(call *shardCall) { r.calls <- call }
+func (r *shardRunner) stop()                    { close(r.calls) }
+
+// remoteRunner adapts a RemoteShard client to the shardCaller seam. Each
+// dispatch runs in its own goroutine so a slow or dead remote never blocks
+// the scatter loop; a transport error or a panicking client synthesizes a
+// classified failure response, so the gather loop's exactly-one-reply
+// invariant holds no matter what the network does.
+type remoteRunner struct {
+	shard RemoteShard
+}
+
+func (r *remoteRunner) dispatch(call *shardCall) {
+	go func() { call.reply <- r.serve(call) }()
+}
+
+// stop is a no-op: remote clients are owned by whoever constructed them
+// (they are shared across every worker engine of a ServePool), not by the
+// engine's shard group.
+func (r *remoteRunner) stop() {}
+
+func (r *remoteRunner) serve(call *shardCall) *ShardResponse {
+	start := time.Now()
+	resp, err := func() (resp *ShardResponse, err error) {
+		defer recoverAsError(&err)
+		return r.shard.Call(call.ctx, call.req, call.bcast)
+	}()
+	if err == nil && resp == nil {
+		err = xerr.Newf(xerr.Unavailable, "core: remote shard %s returned no response", r.shard.Addr())
+	}
+	if err != nil {
+		// Transport-level loss: there is no reply to merge, so the shard
+		// contributed an empty exact prefix. The synthesized response speaks
+		// the coordinator's own version — skew detection applies to what a
+		// remote actually said, never to its absence.
+		resp = &ShardResponse{
+			Version:    ShardProtocolVersion,
+			QueryID:    call.req.QueryID,
+			Candidates: len(call.req.Candidates),
+			Err:        err.Error(),
+			Code:       xerr.CodeOf(err),
+			Kind:       xerr.KindOf(err),
+			Duration:   time.Since(start),
+			err:        err,
+		}
+	}
+	// The shard index is coordinator bookkeeping: trust the request we sent,
+	// not the reply, so a confused remote cannot scribble over another
+	// shard's slot in the gather array.
+	resp.Shard = call.req.Shard
+	if resp.err == nil && resp.Err != "" {
+		resp.err = xerr.FromWire(resp.Code, resp.Kind, resp.Err)
+	}
+	resp.remote = true
+	resp.addr = r.shard.Addr()
+	return resp
+}
+
+// shardGroup is an engine's shard pool: resident in-process runners, or
+// adapters over remote shard clients.
 type shardGroup struct {
-	runners []*shardRunner
+	callers []shardCaller
 	// statsShared mirrors the pipeline's accounting split: views of the
 	// cached materializer share counters, so per-shard deltas would
 	// multiply-count and the coordinator takes one whole-phase delta.
 	statsShared bool
-	closed      atomic.Bool
-	wg          sync.WaitGroup
+	// remote marks a group of out-of-process shards: the scatter loop then
+	// serializes the reference broadcast once per query and the gather loop
+	// widens the degradation rule to transport faults.
+	remote bool
+	closed atomic.Bool
+	wg     sync.WaitGroup
 }
 
 func newShardGroup(e *Engine, n int) (*shardGroup, error) {
-	g := &shardGroup{runners: make([]*shardRunner, n)}
+	g := &shardGroup{callers: make([]shardCaller, n)}
 	_, g.statsShared = e.mat.(*cached)
-	for i := range g.runners {
+	runners := make([]*shardRunner, n)
+	for i := range runners {
 		view, err := NewView(e.mat)
 		if err != nil {
 			return nil, err
 		}
-		g.runners[i] = &shardRunner{id: i, mat: view, calls: make(chan *shardCall)}
+		runners[i] = &shardRunner{id: i, mat: view, calls: make(chan *shardCall)}
+		g.callers[i] = runners[i]
 	}
-	for _, r := range g.runners {
+	for _, r := range runners {
 		g.wg.Add(1)
 		go func(r *shardRunner) {
 			defer g.wg.Done()
 			for call := range r.calls {
-				call.reply <- r.serve(e, call)
+				call.reply <- serveShard(call.ctx, e.g, r.mat, call.req, call.scorers)
 			}
 		}(r)
 	}
 	return g, nil
 }
 
-// close stops the runners and waits for them to exit. Idempotent.
+// newRemoteShardGroup adapts the engine's remote shard clients into a
+// group. No resident goroutines and no views: each remote process owns its
+// own graph slice and arena index, and dispatch spawns per-call.
+func newRemoteShardGroup(e *Engine) *shardGroup {
+	g := &shardGroup{remote: true, callers: make([]shardCaller, len(e.remotes))}
+	for i, rs := range e.remotes {
+		g.callers[i] = &remoteRunner{shard: rs}
+	}
+	return g
+}
+
+// close stops the runners and waits for them to exit. Idempotent. Remote
+// clients are not closed — the engine does not own them.
 func (g *shardGroup) close() {
 	if !g.closed.CompareAndSwap(false, true) {
 		return
 	}
-	for _, r := range g.runners {
-		close(r.calls)
+	for _, c := range g.callers {
+		c.stop()
 	}
 	g.wg.Wait()
 }
@@ -203,14 +358,37 @@ func WithShards(n int) Option {
 	}
 }
 
-// Shards returns the configured shard count (0 = unsharded).
-func (e *Engine) Shards() int { return e.shards }
+// WithRemoteShards scatters queries across out-of-process shards instead of
+// resident goroutines: one RemoteShard client per shard process, in shard
+// order (client i serves candidates range i). The reference side still
+// reduces once on the coordinator and is broadcast to every shard as a
+// ShardBroadcast; replies merge under the same determinism contract, so
+// results are bit-identical to unsharded execution when every shard is
+// healthy. Remote shards take precedence over WithShards when both are set.
+// The engine does NOT own the clients — close them (and their connections)
+// wherever they were dialed, after the engine is done.
+func WithRemoteShards(shards ...RemoteShard) Option {
+	return func(e *Engine) { e.remotes = shards }
+}
 
-// shardGroup lazily starts the engine's resident shard pool on first use.
-// Construction failure (a materializer without concurrent views) declines
-// sharding permanently and the engine runs unsharded, mirroring
-// pipelineWorkers' fallback.
+// Shards returns the configured shard count (0 = unsharded).
+func (e *Engine) Shards() int {
+	if len(e.remotes) > 0 {
+		return len(e.remotes)
+	}
+	return e.shards
+}
+
+// shardGroup lazily starts the engine's shard pool on first use. Remote
+// clients win over in-process shards. Construction failure (a materializer
+// without concurrent views) declines in-process sharding permanently and
+// the engine runs unsharded, mirroring pipelineWorkers' fallback; remote
+// groups cannot fail construction.
 func (e *Engine) shardGroup() *shardGroup {
+	if len(e.remotes) > 0 {
+		e.shardOnce.Do(func() { e.shardGrp = newRemoteShardGroup(e) })
+		return e.shardGrp
+	}
 	if e.shards < 1 {
 		return nil
 	}
@@ -224,7 +402,8 @@ func (e *Engine) shardGroup() *shardGroup {
 
 // Close releases the engine's resident shard goroutines, waiting for them
 // to exit. Engines without WithShards hold no resident resources and need
-// no Close. Close is idempotent and nil-safe; executing queries on a closed
+// no Close (remote shard clients are owned by their dialer, not the
+// engine). Close is idempotent and nil-safe; executing queries on a closed
 // sharded engine is a caller bug (it fails the query with a *PanicError,
 // like any other panic).
 func (e *Engine) Close() {
@@ -241,7 +420,7 @@ func (e *Engine) Close() {
 // concatenated vectors (CombineConcat) or one per feature path
 // (CombineAverage), built once on the coordinator and shared read-only by
 // every shard. For NetOut/CosSim each refScorer is a single aggregate
-// vector — the "one small message" the network transport will broadcast.
+// vector — the "one small message" the network transport broadcasts.
 type queryScorers struct {
 	concat  *refScorer
 	perPath []*refScorer
@@ -260,6 +439,59 @@ func newQueryScorers(measure Measure, combine Combination, refPerPath [][]sparse
 		qs.perPath[m] = newRefScorer(measure, refPerPath[m])
 	}
 	return qs
+}
+
+// broadcast captures the scorers' post-reduction state in wire form. The
+// state is shared, not copied — the broadcast is read-only by contract on
+// both sides of the codec.
+func (qs *queryScorers) broadcast() *ShardBroadcast {
+	b := &ShardBroadcast{Stride: qs.stride}
+	if qs.concat != nil {
+		b.Refs = []ShardRefState{{Agg: qs.concat.s, Refs: qs.concat.refs, RefVis: qs.concat.refVis}}
+		return b
+	}
+	b.Refs = make([]ShardRefState, len(qs.perPath))
+	for i, rs := range qs.perPath {
+		b.Refs[i] = ShardRefState{Agg: rs.s, Refs: rs.refs, RefVis: rs.refVis}
+	}
+	return b
+}
+
+// scorersFromRequest reconstructs the read-only scoring state on the far
+// side of the wire from a request plus its broadcast. Validation is the
+// shard server's input hygiene: a malformed pairing fails the request with
+// a typed error instead of scoring garbage.
+func scorersFromRequest(req *ShardRequest, b *ShardBroadcast) (*queryScorers, error) {
+	if b == nil {
+		return nil, xerr.New(xerr.InvalidArgument, "core: shard request without a reference broadcast")
+	}
+	switch req.Measure {
+	case MeasureNetOut, MeasurePathSim, MeasureCosSim:
+	default:
+		return nil, xerr.Newf(xerr.InvalidArgument, "core: shard request names unknown measure %d", int(req.Measure))
+	}
+	if len(req.Weights) != len(req.Paths) {
+		return nil, xerr.Newf(xerr.InvalidArgument, "core: shard request has %d weights for %d paths", len(req.Weights), len(req.Paths))
+	}
+	qs := &queryScorers{weights: req.Weights, stride: b.Stride}
+	switch req.Combine {
+	case CombineConcat:
+		if len(b.Refs) != 1 {
+			return nil, xerr.Newf(xerr.InvalidArgument, "core: concat shard broadcast carries %d reference states, want 1", len(b.Refs))
+		}
+		qs.concat = b.Refs[0].scorer(req.Measure)
+	case CombineAverage:
+		if len(b.Refs) != len(req.Paths) {
+			return nil, xerr.Newf(xerr.InvalidArgument, "core: shard broadcast carries %d reference states for %d paths", len(b.Refs), len(req.Paths))
+		}
+		qs.perPath = make([]*refScorer, len(b.Refs))
+		for i, st := range b.Refs {
+			qs.perPath[i] = st.scorer(req.Measure)
+		}
+	default:
+		return nil, xerr.Newf(xerr.InvalidArgument, "core: shard request names unknown combination %d", int(req.Combine))
+	}
+	return qs, nil
 }
 
 // score combines one candidate's per-path vectors into its outlier score,
@@ -294,14 +526,55 @@ func (qs *queryScorers) score(vecs []sparse.Vector) (float64, bool) {
 	return sum, true
 }
 
-// serve scores the shard's candidate slice against the broadcast reference
-// reduction: fused materialize+score per candidate, ascending order, into a
-// bounded top-n heap. Failures never escape the shard — a panic or
-// per-vertex error is recorded on the response together with the exact
-// prefix of fully-scored candidates, so the coordinator can degrade the
-// query instead of the fault killing it (or the process).
-func (r *shardRunner) serve(e *Engine, call *shardCall) *ShardResponse {
-	req := call.req
+// shardFailure builds the classified failure reply for a request that never
+// reached scoring (skew, malformed broadcast, out-of-range candidates).
+func shardFailure(req *ShardRequest, err error) *ShardResponse {
+	return &ShardResponse{
+		Version:    ShardProtocolVersion,
+		QueryID:    req.QueryID,
+		Shard:      req.Shard,
+		Candidates: len(req.Candidates),
+		Err:        err.Error(),
+		Code:       xerr.CodeOf(err),
+		Kind:       xerr.KindOf(err),
+		err:        err,
+	}
+}
+
+// ServeShardRequest executes one shard request against a graph slice host:
+// the entry point a shard server (internal/shardnet) calls for each decoded
+// request. It enforces the protocol version, validates the request against
+// the broadcast and the local graph, and never fails — every fault comes
+// back as a classified failure response, mirroring the in-process rule that
+// shards always reply. The materializer must be private to the caller for
+// the duration of the call (shard servers hold a view pool).
+func ServeShardRequest(ctx context.Context, g *hin.Graph, mat Materializer, req *ShardRequest, b *ShardBroadcast) *ShardResponse {
+	if req.Version != ShardProtocolVersion {
+		return shardFailure(req, xerr.Newf(xerr.Internal,
+			"core: shard protocol skew: request version %d, this shard speaks %d", req.Version, ShardProtocolVersion))
+	}
+	scorers, err := scorersFromRequest(req, b)
+	if err != nil {
+		return shardFailure(req, err)
+	}
+	n := hin.VertexID(g.NumVertices())
+	for _, v := range req.Candidates {
+		if v < 0 || v >= n {
+			return shardFailure(req, xerr.Newf(xerr.InvalidArgument,
+				"core: shard candidate %d outside graph (%d vertices)", v, n))
+		}
+	}
+	return serveShard(ctx, g, mat, req, scorers)
+}
+
+// serveShard scores the shard's candidate slice against the broadcast
+// reference reduction: fused materialize+score per candidate, ascending
+// order, into a bounded top-n heap. Failures never escape the shard — a
+// panic or per-vertex error is recorded on the response together with the
+// exact prefix of fully-scored candidates, so the coordinator can degrade
+// the query instead of the fault killing it (or the process). Shared by the
+// in-process shardRunner and the network shard server.
+func serveShard(ctx context.Context, g *hin.Graph, mat Materializer, req *ShardRequest, scorers *queryScorers) *ShardResponse {
 	start := time.Now()
 	resp := &ShardResponse{
 		Version:    ShardProtocolVersion,
@@ -309,24 +582,24 @@ func (r *shardRunner) serve(e *Engine, call *shardCall) *ShardResponse {
 		Shard:      req.Shard,
 		Candidates: len(req.Candidates),
 	}
-	base := r.mat.Stats()
+	base := mat.Stats()
 	sel := newTopSelector(req.TopK)
 	err := func() (err error) {
 		defer recoverAsError(&err)
 		vecs := make([]sparse.Vector, len(req.Paths))
 		for i, v := range req.Candidates {
 			for m := range req.Paths {
-				if err := ctxErr(call.ctx); err != nil {
+				if err := ctxErr(ctx); err != nil {
 					return err
 				}
-				vec, mErr := r.mat.NeighborVector(req.Paths[m], v)
+				vec, mErr := mat.NeighborVector(req.Paths[m], v)
 				if mErr != nil {
 					return mErr
 				}
 				vecs[m] = vec
 			}
-			if s, ok := call.scorers.score(vecs); ok {
-				sel.push(Entry{Vertex: v, Name: e.g.Name(v), Score: s})
+			if s, ok := scorers.score(vecs); ok {
+				sel.push(Entry{Vertex: v, Name: g.Name(v), Score: s})
 			} else {
 				resp.Skipped = append(resp.Skipped, v)
 			}
@@ -338,18 +611,48 @@ func (r *shardRunner) serve(e *Engine, call *shardCall) *ShardResponse {
 		return nil
 	}()
 	resp.Entries = sel.ranked()
-	resp.Stats = r.mat.Stats().Sub(base)
+	resp.Stats = mat.Stats().Sub(base)
 	resp.Duration = time.Since(start)
 	if err != nil {
 		resp.err = err
 		resp.Err = err.Error()
 		resp.Code = xerr.CodeOf(err)
+		resp.Kind = xerr.KindOf(err)
 	}
 	return resp
 }
 
+// shardDegradable decides whether a failed shard folds into an exact-prefix
+// Partial instead of failing the query. The in-process rule mirrors
+// unsharded execution (deadline) plus the tier's panic isolation; a remote
+// reply widens it to the network tier's loss modes — transport failure,
+// admission shed and remote defects — because a lost remote shard is
+// operationally the same event as a panicking local one: its Done-prefix is
+// exact and the rest of the fleet's work should survive. Cancellation never
+// degrades (nobody is waiting), and remote INTERNAL failures that are not
+// defects (e.g. protocol-level rejections) fail the query: they signal
+// misconfiguration, not load.
+func (e *Engine) shardDegradable(sr *ShardResponse) bool {
+	if e.measure != MeasureNetOut || sr.err == nil {
+		return false
+	}
+	if degradable(sr.err) || IsPanicError(sr.err) {
+		return true
+	}
+	if !sr.remote {
+		return false
+	}
+	switch xerr.CodeOf(sr.err) {
+	case xerr.DeadlineExceeded, xerr.ResourceExhausted, xerr.Unavailable:
+		return true
+	case xerr.Internal:
+		return xerr.KindOf(sr.err) == xerr.KindDefect
+	}
+	return false
+}
+
 // executeSharded runs the materialize/score/rank phases of a planned query
-// on the resident shard group, filling res in place. The trace records the
+// on the shard group, filling res in place. The trace records the
 // scatter–gather phase shape — reduce (reference side, on the coordinator)
 // → scatter (shard fan-out and local scoring) → merge (k-way merge and skip
 // assembly) — with per-shard sub-spans folded into the trace, the wide
@@ -381,6 +684,10 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 	}
 	scorers := newQueryScorers(e.measure, e.combine, refPerPath, weights, int32(e.g.NumVertices()))
 	refPerPath = nil // scorers hold what they need; separable measures free Sr now
+	var bcast *ShardBroadcast
+	if sg.remote {
+		bcast = scorers.broadcast()
+	}
 	d := e.mat.Stats().Sub(matBefore)
 	cacheMid, _ := CacheStatsOf(e.mat)
 	res.Timing.NotIndexed += d.TraversalTime
@@ -396,14 +703,16 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 
 	// Scatter: one versioned request per shard over its contiguous range of
 	// the ascending candidate set, then gather every reply. Shards always
-	// reply — panics are recovered inside serve — so the gather cannot hang.
+	// reply — panics are recovered inside serveShard, and the remote adapter
+	// synthesizes a classified reply on transport loss — so the gather
+	// cannot hang.
 	plan.ifq.SetPhase("scatter")
 	scatterBase := e.mat.Stats()
-	ranges := hin.PartitionVertices(cands, len(sg.runners))
-	reply := make(chan *ShardResponse, len(sg.runners))
+	ranges := hin.PartitionVertices(cands, len(sg.callers))
+	reply := make(chan *ShardResponse, len(sg.callers))
 	rid := obs.RequestIDFrom(ctx)
-	for i, r := range sg.runners {
-		r.calls <- &shardCall{
+	for i, c := range sg.callers {
+		c.dispatch(&shardCall{
 			req: &ShardRequest{
 				Version:    ShardProtocolVersion,
 				QueryID:    rid,
@@ -417,11 +726,12 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 			},
 			ctx:     ctx,
 			scorers: scorers,
+			bcast:   bcast,
 			reply:   reply,
-		}
+		})
 	}
-	resps := make([]*ShardResponse, len(sg.runners))
-	for range sg.runners {
+	resps := make([]*ShardResponse, len(sg.callers))
+	for range sg.callers {
 		sr := <-reply
 		resps[sr.Shard] = sr
 	}
@@ -445,11 +755,28 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 		CacheMisses:      cacheAfter.Misses - cacheMid.Misses,
 	})
 
+	// Version gate before any merging: a reply stamped with a foreign
+	// protocol revision means a mixed-revision fleet, and its payload cannot
+	// be trusted to mean what this coordinator thinks it means. Skew is a
+	// deployment bug, so it fails the query whole — degrading would fold
+	// unintelligible data into a "partial" answer.
+	for _, sr := range resps {
+		if sr.Version != ShardProtocolVersion {
+			where := ""
+			if sr.remote {
+				where = " (" + sr.addr + ")"
+			}
+			return xerr.Newf(xerr.Internal,
+				"core: shard protocol skew: shard %d%s replied version %d, coordinator speaks %d",
+				sr.Shard, where, sr.Version, ShardProtocolVersion)
+		}
+	}
+
 	// Classify shard failures. A deadline-expired or panicking shard
 	// degrades under NetOut — its Done-prefix scores are exact — while
 	// cancellation and real errors fail the query, exactly as unsharded
-	// execution treats them (degradable in guard.go; panic isolation is the
-	// shard tier's addition: the fault is confined to the shard it struck).
+	// execution treats them; remote shards additionally degrade on
+	// transport loss and overload (see shardDegradable).
 	plan.ifq.SetPhase("merge")
 	mergeStart := time.Now()
 	partial := false
@@ -460,7 +787,7 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 		if sr.err == nil {
 			continue
 		}
-		if e.measure == MeasureNetOut && (degradable(sr.err) || IsPanicError(sr.err)) {
+		if e.shardDegradable(sr) {
 			partial = true
 			if degradedErr == nil {
 				degradedErr = sr.err
@@ -497,6 +824,7 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 		res.Skipped = append(res.Skipped, sr.Skipped...)
 		res.Shards[i] = ShardStatus{
 			Shard:      i,
+			Addr:       sr.addr,
 			Candidates: sr.Candidates,
 			Done:       sr.Done,
 			Partial:    sr.err != nil,
@@ -505,6 +833,7 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 		}
 		tr.AddShard(obs.ShardSpan{
 			Shard:      i,
+			Addr:       sr.addr,
 			Duration:   sr.Duration,
 			Candidates: sr.Candidates,
 			Done:       sr.Done,
@@ -521,6 +850,8 @@ func (e *Engine) executeSharded(ctx context.Context, plan *queryPlan, res *Resul
 type ShardStatus struct {
 	// Shard is the shard index in [0, S).
 	Shard int
+	// Addr is the remote shard's endpoint ("" for in-process shards).
+	Addr string
 	// Candidates is the size of the shard's candidate slice; Done counts
 	// the candidates it fully scored (== Candidates for a healthy shard).
 	Candidates, Done int

@@ -88,6 +88,13 @@ type ServeOptions struct {
 	// Each worker holds its own group, so the pool runs Workers × Shards
 	// resident goroutines; Close releases them.
 	Shards int
+	// RemoteShards, when non-empty, scatters every worker engine's queries
+	// across out-of-process shard servers instead of resident goroutines
+	// (WithRemoteShards); it takes precedence over Shards. The clients are
+	// shared by every worker — RemoteShard implementations are safe for
+	// concurrent use — and are NOT closed by the pool: close them wherever
+	// they were dialed, after the pool drains.
+	RemoteShards []RemoteShard
 	// MaxQueue, when positive, turns on admission control: at most MaxQueue
 	// queries may be queued waiting for a worker, and further Execute calls
 	// fail fast with ErrOverloaded instead of blocking unboundedly. 0 (the
@@ -210,6 +217,7 @@ func NewServePool(g *hin.Graph, opts ServeOptions) (*ServePool, error) {
 			WithMaterializer(mat),
 			WithQueryParallelism(queryPar),
 			WithShards(opts.Shards),
+			WithRemoteShards(opts.RemoteShards...),
 			WithObs(opts.Obs, opts.SlowLog),
 			WithEventSink(opts.Events),
 			WithInflight(opts.Inflight))

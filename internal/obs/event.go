@@ -51,6 +51,7 @@ type EventPhase struct {
 // consumers (mirrors obs.ShardSpan).
 type EventShard struct {
 	Shard      int    `json:"shard"`
+	Addr       string `json:"addr,omitempty"`
 	DurationUs int64  `json:"duration_us"`
 	Candidates int    `json:"candidates"`
 	Done       int    `json:"done"`

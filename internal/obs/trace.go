@@ -66,6 +66,8 @@ type Trace struct {
 type ShardSpan struct {
 	// Shard is the shard index in [0, S).
 	Shard int
+	// Addr is the remote shard's endpoint ("" for in-process shards).
+	Addr string
 	// Duration is the shard's wall time for this query.
 	Duration time.Duration
 	// Candidates is the shard's candidate slice size; Done counts the
@@ -122,6 +124,9 @@ func (t *Trace) Format() string {
 	for _, ss := range t.Shards {
 		fmt.Fprintf(&sb, "  shard %-6d %10v  (%d/%d candidates", ss.Shard,
 			ss.Duration.Round(time.Microsecond), ss.Done, ss.Candidates)
+		if ss.Addr != "" {
+			fmt.Fprintf(&sb, ", addr %s", ss.Addr)
+		}
 		if ss.Partial {
 			sb.WriteString(", partial")
 		}

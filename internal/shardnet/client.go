@@ -1,0 +1,332 @@
+package shardnet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"netout/internal/core"
+	"netout/internal/obs"
+	"netout/internal/xerr"
+)
+
+// ClientOptions configures a remote shard client.
+type ClientOptions struct {
+	// MaxAttempts bounds how many times one Call tries the shard (first
+	// attempt + retries). Only transport faults (UNAVAILABLE) and admission
+	// sheds (RESOURCE_EXHAUSTED replies) retry — they are the "try again"
+	// codes by definition; skew, validation failures and interrupts never
+	// do. Default 3.
+	MaxAttempts int
+	// Backoff is the first retry's sleep; it doubles per retry. The sleep
+	// is context-aware, so a cancelled query never sits out a backoff.
+	// Default 25ms.
+	Backoff time.Duration
+	// Hedge, when positive, launches a second identical call if the first
+	// has not answered within this long, and Call returns whichever
+	// finishes first (the loser is cancelled). Hedging is safe because
+	// shard requests are idempotent reads. 0 disables.
+	Hedge time.Duration
+	// DialTimeout bounds one TCP connect. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout bounds one attempt when the query's context carries no
+	// deadline of its own — the client's backstop against a hung shard.
+	// Default 30s.
+	CallTimeout time.Duration
+	// DrainGrace extends the connection read deadline past the query's
+	// deadline, mirroring core.ServeOptions.DrainGrace: a shard observing
+	// the expired deadline replies promptly with its exact prefix, and this
+	// window lets that degraded reply land instead of being severed
+	// mid-flight. Default 250ms.
+	DrainGrace time.Duration
+	// Obs, if set, receives per-shard RPC metrics (attempt counts by
+	// outcome, retries, hedges, call latency), labeled by shard address.
+	Obs *obs.Registry
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.DrainGrace == 0 {
+		o.DrainGrace = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Client is a coordinator-side remote shard: it implements core.RemoteShard
+// over the shardnet codec with connection pooling, bounded retry with
+// exponential backoff, optional hedging, and deadline propagation. Safe for
+// concurrent use — every ServePool worker shares one Client per shard.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+// clientConn keeps a connection WITH its buffered reader: the reader may
+// have read ahead, so re-wrapping the conn on reuse would lose bytes.
+type clientConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// maxIdleConns bounds the per-client idle pool; beyond it, returning
+// connections close instead of parking.
+const maxIdleConns = 8
+
+// Dial returns a client for the shard at addr. Connection establishment is
+// lazy — the first Call dials — so constructing a fleet of clients never
+// blocks on a down shard; the per-call retry/degradation machinery owns
+// that failure instead.
+func Dial(addr string, opts ClientOptions) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults()}
+}
+
+// Addr names the remote endpoint (core.RemoteShard).
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases the client's pooled connections. In-flight calls finish on
+// their own connections; later calls dial fresh (a closed client still
+// works, it just stops pooling).
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle, c.closed = nil, true
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
+	}
+}
+
+func (c *Client) getConn() (*clientConn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, xerr.Wrap(xerr.Unavailable, err)
+	}
+	return &clientConn{c: conn, br: bufio.NewReader(conn)}, nil
+}
+
+func (c *Client) putConn(cc *clientConn) {
+	cc.c.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < maxIdleConns {
+		c.idle = append(c.idle, cc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cc.c.Close()
+}
+
+func (c *Client) counter(name, help string) *obs.Counter {
+	return c.opts.Obs.Counter(name+`{addr="`+c.addr+`"}`, help)
+}
+
+func (c *Client) observe(outcome string, d time.Duration) {
+	if c.opts.Obs == nil {
+		return
+	}
+	c.opts.Obs.Counter(`netout_shard_rpc_total{addr="`+c.addr+`",outcome="`+outcome+`"}`,
+		"Remote shard RPC attempts by shard address and outcome.").Inc()
+	c.opts.Obs.Histogram(`netout_shard_rpc_seconds{addr="`+c.addr+`"}`,
+		"Remote shard RPC attempt latency.", nil).Observe(d.Seconds())
+}
+
+// Call implements core.RemoteShard: one scattered shard request, retried
+// and optionally hedged. A non-nil response with Err set is a shard-side
+// failure the coordinator classifies; a returned error is transport-level
+// loss (or an interrupt) after retries were exhausted.
+func (c *Client) Call(ctx context.Context, req *core.ShardRequest, b *core.ShardBroadcast) (*core.ShardResponse, error) {
+	if c.opts.Hedge <= 0 {
+		return c.callRetry(ctx, req, b)
+	}
+	type outcome struct {
+		resp *core.ShardResponse
+		err  error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered for both racers: the loser's send never blocks, so its
+	// goroutine exits even though nobody reads it.
+	ch := make(chan outcome, 2)
+	launch := func() {
+		go func() {
+			resp, err := c.callRetry(hctx, req, b)
+			ch <- outcome{resp, err}
+		}()
+	}
+	launch()
+	inFlight := 1
+	hedge := time.NewTimer(c.opts.Hedge)
+	defer hedge.Stop()
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			inFlight--
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-hedge.C:
+			if c.opts.Obs != nil {
+				c.counter(`netout_shard_rpc_hedges_total`, "Hedged (duplicate) remote shard RPCs launched.").Inc()
+			}
+			launch()
+			inFlight++
+		}
+	}
+}
+
+// retryable reports whether one attempt's outcome warrants another try:
+// transport loss, or the shard shedding under admission control. The
+// response case matters — a shed is a well-formed reply, not an error, and
+// backing off then retrying is exactly what RESOURCE_EXHAUSTED asks for.
+func retryable(resp *core.ShardResponse, err error) bool {
+	if err != nil {
+		return xerr.CodeOf(err) == xerr.Unavailable
+	}
+	return resp.Err != "" && resp.Code == xerr.ResourceExhausted
+}
+
+func (c *Client) callRetry(ctx context.Context, req *core.ShardRequest, b *core.ShardBroadcast) (*core.ShardResponse, error) {
+	backoff := c.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		resp, err := c.callOnce(ctx, req, b)
+		if !retryable(resp, err) || attempt+1 >= c.opts.MaxAttempts {
+			return resp, err
+		}
+		if c.opts.Obs != nil {
+			c.counter(`netout_shard_rpc_retries_total`, "Remote shard RPC retries after a retryable failure.").Inc()
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, xerr.Interrupt(ctx.Err())
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+func (c *Client) callOnce(ctx context.Context, req *core.ShardRequest, b *core.ShardBroadcast) (*core.ShardResponse, error) {
+	start := time.Now()
+	resp, err := c.attempt(ctx, req, b)
+	if c.opts.Obs != nil {
+		out := "ok"
+		switch {
+		case err != nil:
+			out = string(xerr.CodeOf(err))
+		case resp.Err != "":
+			out = string(resp.Code)
+		}
+		c.observe(out, time.Since(start))
+	}
+	return resp, err
+}
+
+func (c *Client) attempt(ctx context.Context, req *core.ShardRequest, b *core.ShardBroadcast) (*core.ShardResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, xerr.Interrupt(err)
+	}
+	cc, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	// Deadline propagation: the shard receives the REMAINING budget (clock-
+	// skew safe), and the connection read deadline runs DrainGrace past it
+	// so the shard's post-expiry degraded reply can still land. Without a
+	// caller deadline, CallTimeout backstops a hung shard.
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			c.putConn(cc)
+			return nil, xerr.Interrupt(context.DeadlineExceeded)
+		}
+	}
+	connDL := budget
+	if connDL <= 0 {
+		connDL = c.opts.CallTimeout
+	}
+	if c.opts.DrainGrace > 0 {
+		connDL += c.opts.DrainGrace
+	}
+	cc.c.SetDeadline(time.Now().Add(connDL))
+	// Cancellation watchdog: an expired deadline is already covered by the
+	// connection deadline above, but an explicit cancel must unblock a
+	// pending read NOW — nobody is waiting for the reply.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			if ctx.Err() == context.Canceled {
+				cc.c.SetDeadline(time.Now())
+			}
+		case <-watchdogDone:
+		}
+	}()
+
+	wire := &Request{Req: req, Broadcast: b, Deadline: budget}
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		wire.Traceparent = sc.Traceparent()
+	}
+	if err := WriteRequest(cc.c, wire); err != nil {
+		cc.c.Close()
+		return nil, c.classify(ctx, err)
+	}
+	resp, err := ReadResponse(cc.br)
+	if err != nil {
+		cc.c.Close()
+		return nil, c.classify(ctx, err)
+	}
+	c.putConn(cc)
+	return resp, nil
+}
+
+// classify maps a transport fault to its true cause: an I/O error provoked
+// by our own watchdog or an expired budget is the context's interrupt, not
+// the shard's unavailability; a clean EOF between request and reply is the
+// shard dying mid-call (io.EOF is only "clean" BETWEEN frames), which is
+// UNAVAILABLE — retryable, and degradable at the coordinator.
+func (c *Client) classify(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return xerr.Interrupt(ctxErr)
+	}
+	if errors.Is(err, io.EOF) {
+		return xerr.Wrap(xerr.Unavailable, err)
+	}
+	return err
+}

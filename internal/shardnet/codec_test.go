@@ -1,0 +1,426 @@
+package shardnet
+
+// Codec round-trip properties: every field of both message kinds must
+// survive encode→decode exactly, including the payloads the determinism
+// contract cares about most — NaN and ±Inf float bits — and the classified
+// error triple for every taxonomy code. The decoder must reject, never
+// panic on and never over-allocate for corrupt frames.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"netout/internal/core"
+	"netout/internal/hin"
+	"netout/internal/metapath"
+	"netout/internal/sparse"
+	"netout/internal/xerr"
+)
+
+// floatsEqual compares float slices by their IEEE-754 bits, so NaN == NaN
+// and -0.0 != +0.0 — the comparison the wire contract is written against.
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func vecEqual(a, b sparse.Vector) bool {
+	if len(a.Idx) != len(b.Idx) {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] {
+			return false
+		}
+	}
+	return floatsEqual(a.Val, b.Val)
+}
+
+func vecsEqual(a, b []sparse.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !vecEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// awkwardFloats is the float palette every generated message draws from:
+// the values a lossy or text-based codec would mangle first.
+var awkwardFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.1, -1e-308, 1e308,
+	math.NaN(), math.Inf(1), math.Inf(-1), math.SmallestNonzeroFloat64,
+}
+
+func randFloats(r *rand.Rand, n int) []float64 {
+	fs := make([]float64, n)
+	for i := range fs {
+		fs[i] = awkwardFloats[r.Intn(len(awkwardFloats))]
+	}
+	return fs
+}
+
+func randVector(r *rand.Rand) sparse.Vector {
+	n := r.Intn(5)
+	if n == 0 {
+		return sparse.Vector{}
+	}
+	v := sparse.Vector{Idx: make([]int32, n), Val: randFloats(r, n)}
+	for i := range v.Idx {
+		v.Idx[i] = int32(r.Intn(1 << 20))
+	}
+	return v
+}
+
+func randRequest(r *rand.Rand) *Request {
+	req := &core.ShardRequest{
+		Version: core.ShardProtocolVersion,
+		QueryID: strings.Repeat("q", r.Intn(20)),
+		Shard:   r.Intn(8),
+		TopK:    r.Intn(100),
+		Measure: core.Measure(r.Intn(3)),
+		Combine: core.Combination(r.Intn(2)),
+	}
+	nPaths := 1 + r.Intn(3)
+	req.Weights = randFloats(r, nPaths)
+	for i := 0; i < nPaths; i++ {
+		key := make([]byte, 2+r.Intn(4))
+		for j := range key {
+			key[j] = byte(r.Intn(4))
+		}
+		req.Paths = append(req.Paths, metapath.FromKey(string(key)))
+	}
+	for i := 0; i < r.Intn(10); i++ {
+		req.Candidates = append(req.Candidates, hin.VertexID(r.Intn(1<<20)))
+	}
+	b := &core.ShardBroadcast{Stride: int32(r.Intn(1 << 20))}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		st := core.ShardRefState{Agg: randVector(r)}
+		for j := 0; j < r.Intn(3); j++ {
+			st.Refs = append(st.Refs, randVector(r))
+		}
+		st.RefVis = randFloats(r, len(st.Refs))
+		b.Refs = append(b.Refs, st)
+	}
+	return &Request{
+		Req:         req,
+		Broadcast:   b,
+		Deadline:    time.Duration(r.Int63n(int64(time.Hour))),
+		Traceparent: "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+	}
+}
+
+func requestsEqual(t *testing.T, a, b *Request) {
+	t.Helper()
+	ra, rb := a.Req, b.Req
+	if ra.Version != rb.Version || ra.QueryID != rb.QueryID || ra.Shard != rb.Shard ||
+		ra.TopK != rb.TopK || ra.Measure != rb.Measure || ra.Combine != rb.Combine {
+		t.Fatalf("request header diverges:\n%+v\n%+v", ra, rb)
+	}
+	if !floatsEqual(ra.Weights, rb.Weights) {
+		t.Fatalf("weights diverge: %v vs %v", ra.Weights, rb.Weights)
+	}
+	if len(ra.Paths) != len(rb.Paths) {
+		t.Fatalf("path count diverges: %d vs %d", len(ra.Paths), len(rb.Paths))
+	}
+	for i := range ra.Paths {
+		if ra.Paths[i].Key() != rb.Paths[i].Key() {
+			t.Fatalf("path %d diverges: %q vs %q", i, ra.Paths[i].Key(), rb.Paths[i].Key())
+		}
+	}
+	if len(ra.Candidates) != len(rb.Candidates) {
+		t.Fatalf("candidate count diverges")
+	}
+	for i := range ra.Candidates {
+		if ra.Candidates[i] != rb.Candidates[i] {
+			t.Fatalf("candidate %d diverges", i)
+		}
+	}
+	ba, bb := a.Broadcast, b.Broadcast
+	if ba.Stride != bb.Stride || len(ba.Refs) != len(bb.Refs) {
+		t.Fatalf("broadcast shape diverges")
+	}
+	for i := range ba.Refs {
+		if !vecEqual(ba.Refs[i].Agg, bb.Refs[i].Agg) ||
+			!vecsEqual(ba.Refs[i].Refs, bb.Refs[i].Refs) ||
+			!floatsEqual(ba.Refs[i].RefVis, bb.Refs[i].RefVis) {
+			t.Fatalf("broadcast ref state %d diverges", i)
+		}
+	}
+	if a.Deadline != b.Deadline || a.Traceparent != b.Traceparent {
+		t.Fatalf("envelope diverges: %v/%q vs %v/%q", a.Deadline, a.Traceparent, b.Deadline, b.Traceparent)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		in := randRequest(r)
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		requestsEqual(t, in, out)
+		if buf.Len() != 0 {
+			t.Fatalf("round %d: %d bytes left after one frame", i, buf.Len())
+		}
+	}
+}
+
+func randResponse(r *rand.Rand) *core.ShardResponse {
+	resp := &core.ShardResponse{
+		Version:    core.ShardProtocolVersion,
+		QueryID:    strings.Repeat("r", r.Intn(20)),
+		Shard:      r.Intn(8),
+		Candidates: r.Intn(1000),
+		Done:       r.Intn(1000),
+		Duration:   time.Duration(r.Int63n(int64(time.Minute))),
+	}
+	for i := 0; i < r.Intn(8); i++ {
+		resp.Entries = append(resp.Entries, core.Entry{
+			Vertex: hin.VertexID(r.Intn(1 << 20)),
+			Name:   strings.Repeat("n", r.Intn(12)),
+			Score:  awkwardFloats[r.Intn(len(awkwardFloats))],
+		})
+	}
+	for i := 0; i < r.Intn(6); i++ {
+		resp.Skipped = append(resp.Skipped, hin.VertexID(r.Intn(1<<20)))
+	}
+	resp.Stats = core.MatStats{
+		IndexedTime:      time.Duration(r.Int63n(int64(time.Second))),
+		TraversalTime:    time.Duration(r.Int63n(int64(time.Second))),
+		IndexedVectors:   r.Int63n(1 << 30),
+		TraversedVectors: r.Int63n(1 << 30),
+	}
+	return resp
+}
+
+func responsesEqual(t *testing.T, a, b *core.ShardResponse) {
+	t.Helper()
+	if a.Version != b.Version || a.QueryID != b.QueryID || a.Shard != b.Shard ||
+		a.Candidates != b.Candidates || a.Done != b.Done ||
+		a.Err != b.Err || a.Code != b.Code || a.Kind != b.Kind ||
+		a.Stats != b.Stats || a.Duration != b.Duration {
+		t.Fatalf("response diverges:\n%+v\n%+v", a, b)
+	}
+	if len(a.Entries) != len(b.Entries) || len(a.Skipped) != len(b.Skipped) {
+		t.Fatalf("response payload shape diverges")
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Vertex != b.Entries[i].Vertex || a.Entries[i].Name != b.Entries[i].Name ||
+			math.Float64bits(a.Entries[i].Score) != math.Float64bits(b.Entries[i].Score) {
+			t.Fatalf("entry %d diverges: %+v vs %+v", i, a.Entries[i], b.Entries[i])
+		}
+	}
+	for i := range a.Skipped {
+		if a.Skipped[i] != b.Skipped[i] {
+			t.Fatalf("skip %d diverges", i)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		in := randResponse(r)
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		responsesEqual(t, in, out)
+	}
+}
+
+// The classified error triple survives the wire for every taxonomy code and
+// kind — this is what lets the coordinator reconstruct a remote failure
+// with xerr.FromWire and apply the same degradation rules as in-process.
+func TestResponseErrorTripleRoundTrip(t *testing.T) {
+	codes := []xerr.Code{
+		xerr.InvalidArgument, xerr.NotFound, xerr.ResourceExhausted,
+		xerr.DeadlineExceeded, xerr.Canceled, xerr.Unavailable, xerr.Internal,
+	}
+	for _, code := range codes {
+		for _, kind := range []xerr.Kind{xerr.KindFailure, xerr.KindDefect, xerr.KindInterrupt} {
+			in := &core.ShardResponse{
+				Version: core.ShardProtocolVersion,
+				Err:     "boom: " + string(code),
+				Code:    code,
+				Kind:    kind,
+			}
+			var buf bytes.Buffer
+			if err := WriteResponse(&buf, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := ReadResponse(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			responsesEqual(t, in, out)
+			rec := xerr.FromWire(out.Code, out.Kind, out.Err)
+			if xerr.CodeOf(rec) != code || xerr.KindOf(rec) != kind || rec.Error() != in.Err {
+				t.Fatalf("FromWire(%s, %d) reconstructed %v", code, kind, rec)
+			}
+		}
+	}
+}
+
+// Multiple frames on one stream decode in order — the per-connection serial
+// request/response loop depends on exact framing.
+func TestFramesAreSelfDelimiting(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	in := make([]*core.ShardResponse, 5)
+	for i := range in {
+		in[i] = randResponse(r)
+		if err := WriteResponse(&buf, in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range in {
+		out, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		responsesEqual(t, in[i], out)
+	}
+	if _, err := ReadResponse(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past last frame = %v, want io.EOF", err)
+	}
+}
+
+// A clean EOF before any header byte is io.EOF (idle peer hang-up); a
+// truncated header or body is a classified UNAVAILABLE transport fault.
+func TestReadFrameEOFClassification(t *testing.T) {
+	if _, err := ReadResponse(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream = %v, want io.EOF", err)
+	}
+	if _, err := ReadResponse(bytes.NewReader([]byte{0, 0})); xerr.CodeOf(err) != xerr.Unavailable {
+		t.Fatalf("truncated header = %v, want UNAVAILABLE", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &core.ShardResponse{Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResponse(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); xerr.CodeOf(err) != xerr.Unavailable {
+		t.Fatalf("truncated body = %v, want UNAVAILABLE", err)
+	}
+}
+
+// Protocol violations — oversized or zero length prefixes, a response frame
+// where a request is expected — are INTERNAL, distinct from transport loss.
+func TestReadFrameRejectsProtocolViolations(t *testing.T) {
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, MaxFrameBytes+1)
+	if _, err := ReadResponse(bytes.NewReader(huge)); xerr.CodeOf(err) != xerr.Internal {
+		t.Fatalf("oversize length = %v, want INTERNAL", err)
+	}
+	if _, err := ReadResponse(bytes.NewReader(make([]byte, 4))); xerr.CodeOf(err) != xerr.Internal {
+		t.Fatalf("zero length = %v, want INTERNAL", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &core.ShardResponse{Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(bytes.NewReader(buf.Bytes())); xerr.CodeOf(err) != xerr.Internal {
+		t.Fatalf("kind mismatch = %v, want INTERNAL", err)
+	}
+}
+
+// corrupt decodes random mutations of valid frames: the decoder must return
+// a typed error or a message, never panic, and a forged element count must
+// not drive an allocation beyond the frame's own size.
+func TestDecoderSurvivesCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var reqBuf, respBuf bytes.Buffer
+	if err := WriteRequest(&reqBuf, randRequest(r)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResponse(&respBuf, randResponse(r)); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []struct {
+		name  string
+		frame []byte
+		read  func(io.Reader) error
+	}{
+		{"request", reqBuf.Bytes(), func(rd io.Reader) error { _, err := ReadRequest(rd); return err }},
+		{"response", respBuf.Bytes(), func(rd io.Reader) error { _, err := ReadResponse(rd); return err }},
+	} {
+		t.Run(seed.name, func(t *testing.T) {
+			for i := 0; i < 2000; i++ {
+				frame := append([]byte(nil), seed.frame...)
+				switch r.Intn(3) {
+				case 0: // flip random bytes (past the length prefix, which readFrame owns)
+					for j := 0; j <= r.Intn(4); j++ {
+						frame[4+r.Intn(len(frame)-4)] ^= byte(1 + r.Intn(255))
+					}
+				case 1: // truncate, fixing the length prefix so the decoder sees it
+					n := 5 + r.Intn(len(frame)-5)
+					frame = frame[:n]
+					binary.BigEndian.PutUint32(frame, uint32(n-4))
+				case 2: // forge an interior count to a huge value
+					off := 5 + r.Intn(len(frame)-9)
+					binary.BigEndian.PutUint32(frame[off:], uint32(1<<31-1))
+				}
+				err := seed.read(bytes.NewReader(frame))
+				if err == nil {
+					continue // a mutation can still be a valid frame
+				}
+				if c := xerr.CodeOf(err); c != xerr.Internal && c != xerr.Unavailable {
+					t.Fatalf("iteration %d: corrupt frame returned unclassified error %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// FuzzReadRequest and FuzzReadResponse run the decoders over arbitrary
+// bytes. `go test` exercises the seeds; `go test -fuzz` explores.
+func FuzzReadRequest(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, randRequest(rand.New(rand.NewSource(5)))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ReadRequest(bytes.NewReader(data))
+	})
+}
+
+func FuzzReadResponse(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, randResponse(rand.New(rand.NewSource(6)))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ReadResponse(bytes.NewReader(data))
+	})
+}

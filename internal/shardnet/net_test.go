@@ -1,0 +1,548 @@
+package shardnet
+
+// Network failure-mode tests over real TCP: shard servers on loopback
+// listeners, real Dial'd clients, and an engine scattering over them. The
+// contracts under test are the acceptance criteria of the network tier —
+// bit-identical results across the process boundary, exact-prefix Partial
+// when a shard process dies mid-gather, typed admission sheds, retry and
+// hedging, protocol-skew rejection, and deadline propagation. All tests
+// here must pass under `go test -race -cpu 1,4`.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netout/internal/core"
+	"netout/internal/hin"
+	"netout/internal/obs"
+	"netout/internal/xerr"
+)
+
+const netQuery = `FIND OUTLIERS FROM author JUDGED BY author.paper.venue;`
+
+// testGraph builds a small deterministic bibliographic network, the same
+// shape the core shard tests use. Every shard server in a test hosts its
+// own copy, exactly as a real fleet loads the same network per process.
+func testGraph(t *testing.T) *hin.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	s := hin.MustSchema("author", "paper", "venue", "term")
+	a, _ := s.TypeByName("author")
+	p, _ := s.TypeByName("paper")
+	v, _ := s.TypeByName("venue")
+	tm, _ := s.TypeByName("term")
+	s.AllowLink(p, a)
+	s.AllowLink(p, v)
+	s.AllowLink(p, tm)
+	b := hin.NewBuilder(s)
+	var authors, venues, terms []hin.VertexID
+	for i := 0; i < 12; i++ {
+		authors = append(authors, b.MustAddVertex(a, fmt.Sprintf("A%d", i)))
+	}
+	for i := 0; i < 4; i++ {
+		venues = append(venues, b.MustAddVertex(v, fmt.Sprintf("V%d", i)))
+	}
+	for i := 0; i < 6; i++ {
+		terms = append(terms, b.MustAddVertex(tm, fmt.Sprintf("T%d", i)))
+	}
+	for i := 0; i < 25; i++ {
+		pp := b.MustAddVertex(p, fmt.Sprintf("P%d", i))
+		for j := 0; j <= r.Intn(3); j++ {
+			b.MustAddEdge(pp, authors[r.Intn(len(authors))])
+		}
+		b.MustAddEdge(pp, venues[r.Intn(len(venues))])
+		for j := 0; j <= r.Intn(4); j++ {
+			b.MustAddEdge(pp, terms[r.Intn(len(terms))])
+		}
+	}
+	return b.Build()
+}
+
+// startShard boots one shard server on a loopback listener and returns it
+// with its address. The caller owns Close (ordering matters for tests that
+// gate handlers).
+func startShard(t *testing.T, g *hin.Graph, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(g, core.NewBaseline(g), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	return srv, lis.Addr().String()
+}
+
+func fleetOf(t *testing.T, g *hin.Graph, n int, copts ClientOptions) ([]core.RemoteShard, []*Server, []*Client) {
+	t.Helper()
+	remotes := make([]core.RemoteShard, n)
+	servers := make([]*Server, n)
+	clients := make([]*Client, n)
+	for i := range remotes {
+		srv, addr := startShard(t, g, ServerOptions{})
+		c := Dial(addr, copts)
+		servers[i], clients[i], remotes[i] = srv, c, c
+	}
+	return remotes, servers, clients
+}
+
+func closeFleet(servers []*Server, clients []*Client) {
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, s := range servers {
+		s.Close()
+	}
+}
+
+func bitIdentical(a, b *core.Result) bool {
+	if len(a.Entries) != len(b.Entries) || len(a.Skipped) != len(b.Skipped) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Vertex != b.Entries[i].Vertex ||
+			math.Float64bits(a.Entries[i].Score) != math.Float64bits(b.Entries[i].Score) {
+			return false
+		}
+	}
+	for i := range a.Skipped {
+		if a.Skipped[i] != b.Skipped[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minimalRequest is a well-formed zero-work request (no paths, no
+// candidates) for transport-focused tests that never need real scoring.
+func minimalRequest(shard int) *core.ShardRequest {
+	return &core.ShardRequest{
+		Version: core.ShardProtocolVersion,
+		QueryID: "transport-test",
+		Shard:   shard,
+		Measure: core.MeasureNetOut,
+		Combine: core.CombineAverage,
+	}
+}
+
+// A query scattered over out-of-process shards — request, broadcast and
+// reply all crossing real TCP — is bit-identical to unsharded execution
+// for every measure and combination, and both sides' metrics register.
+func TestNetworkShardsBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	serverReg, clientReg := obs.NewRegistry(), obs.NewRegistry()
+	queries := []string{
+		netQuery,
+		`FIND OUTLIERS FROM author JUDGED BY author.paper.venue TOP 3;`,
+		`FIND OUTLIERS FROM author JUDGED BY author.paper.venue : 2, author.paper.term : 1;`,
+	}
+	var remotes []core.RemoteShard
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		srv, addr := startShard(t, g, ServerOptions{Obs: serverReg})
+		defer srv.Close()
+		c := Dial(addr, ClientOptions{Obs: clientReg})
+		defer c.Close()
+		servers = append(servers, srv)
+		remotes = append(remotes, c)
+	}
+	_ = servers
+	for _, m := range []core.Measure{core.MeasureNetOut, core.MeasurePathSim, core.MeasureCosSim} {
+		for _, comb := range []core.Combination{core.CombineAverage, core.CombineConcat} {
+			plain := core.NewEngine(g, core.WithMeasure(m), core.WithCombination(comb))
+			eng := core.NewEngine(g, core.WithMeasure(m), core.WithCombination(comb),
+				core.WithRemoteShards(remotes...))
+			for _, src := range queries {
+				want, err1 := plain.Execute(src)
+				got, err2 := eng.Execute(src)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("measure %v combine %v %q: %v / %v", m, comb, src, err1, err2)
+				}
+				if !bitIdentical(want, got) {
+					t.Fatalf("measure %v combine %v diverges over TCP on %q:\nlocal  %+v\nremote %+v",
+						m, comb, src, want.Entries, got.Entries)
+				}
+				if got.Partial {
+					t.Fatalf("healthy fleet produced a partial result")
+				}
+			}
+			eng.Close()
+			plain.Close()
+		}
+	}
+	var buf bytes.Buffer
+	clientReg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "netout_shard_rpc_total") {
+		t.Error("client registry missing netout_shard_rpc_total")
+	}
+	buf.Reset()
+	serverReg.WritePrometheus(&buf)
+	for _, m := range []string{"netout_shardsrv_requests_total", "netout_shardsrv_seconds", "netout_shardsrv_workers"} {
+		if !strings.Contains(buf.String(), m) {
+			t.Errorf("server registry missing %s", m)
+		}
+	}
+}
+
+// Acceptance criterion: killing one shard process mid-query yields
+// Partial=true with the surviving shards' exact (bit-identical) scores.
+// The victim's handler is gated mid-execution, the server is closed —
+// severing its connections and listener, exactly what a process death does
+// to the coordinator — and the query must degrade, not fail.
+func TestNetworkShardKilledMidQueryDegradesToExactPrefix(t *testing.T) {
+	g := testGraph(t)
+	want, err := core.NewEngine(g, core.WithMeasure(core.MeasureNetOut)).Execute(netQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScore := make(map[hin.VertexID]uint64, len(want.Entries))
+	for _, e := range want.Entries {
+		wantScore[e.Vertex] = math.Float64bits(e.Score)
+	}
+
+	remotes, servers, clients := fleetOf(t, g, 3, ClientOptions{MaxAttempts: 2, Backoff: time.Millisecond})
+	victim := servers[1]
+	reached := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	victim.gate = func(*core.ShardRequest) {
+		if once.CompareAndSwap(false, true) {
+			close(reached)
+			<-release
+		}
+	}
+
+	eng := core.NewEngine(g, core.WithMeasure(core.MeasureNetOut), core.WithRemoteShards(remotes...))
+	defer eng.Close()
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := eng.Execute(netQuery)
+		done <- outcome{res, err}
+	}()
+
+	<-reached
+	// Kill the shard process: listener and connections sever immediately;
+	// Close blocks on the gated handler, so it runs on its own goroutine.
+	closed := make(chan struct{})
+	go func() {
+		victim.Close()
+		close(closed)
+	}()
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("killed shard failed the query instead of degrading: %v", o.err)
+	}
+	close(release)
+	<-closed
+	closeFleet(servers, clients)
+
+	res := o.res
+	if !res.Partial {
+		t.Fatal("Partial = false after killing a shard mid-query")
+	}
+	if len(res.Shards) != 3 {
+		t.Fatalf("shard accounting = %+v", res.Shards)
+	}
+	covered := 0
+	for i, st := range res.Shards {
+		if i == 1 {
+			if st.Done != 0 || !st.Partial || st.Err == "" {
+				t.Fatalf("victim accounting = %+v, want Done 0 with classified error", st)
+			}
+			continue
+		}
+		if st.Partial || st.Done != st.Candidates {
+			t.Fatalf("surviving shard %d accounting = %+v, want complete", i, st)
+		}
+		covered += st.Candidates
+	}
+	if got := len(res.Entries) + len(res.Skipped); got != covered {
+		t.Fatalf("partial covers %d candidates, want the survivors' %d", got, covered)
+	}
+	for _, e := range res.Entries {
+		bits, ok := wantScore[e.Vertex]
+		if !ok || bits != math.Float64bits(e.Score) {
+			t.Fatalf("surviving score for %q not bit-identical to unsharded", e.Name)
+		}
+	}
+}
+
+// A shard server stamped with a foreign protocol revision fails the query
+// with a typed INTERNAL skew error naming the shard's address — end to end
+// over TCP, the mixed-revision-fleet scenario.
+func TestNetworkForgedVersionSkewFailsQuery(t *testing.T) {
+	g := testGraph(t)
+	remotes, servers, clients := fleetOf(t, g, 2, ClientOptions{})
+	defer closeFleet(servers, clients)
+	servers[1].forgeVersion = core.ShardProtocolVersion + 7
+
+	eng := core.NewEngine(g, core.WithRemoteShards(remotes...))
+	defer eng.Close()
+	_, err := eng.Execute(netQuery)
+	if err == nil {
+		t.Fatal("mixed-revision fleet merged silently; want a skew failure")
+	}
+	if xerr.CodeOf(err) != xerr.Internal {
+		t.Fatalf("skew error code = %v (%v), want INTERNAL", xerr.CodeOf(err), err)
+	}
+	if !strings.Contains(err.Error(), "protocol skew") || !strings.Contains(err.Error(), clients[1].Addr()) {
+		t.Fatalf("skew error %q does not name the offense and the offender", err)
+	}
+}
+
+// Admission control: with every worker and queue slot held, the next
+// request is shed with a well-formed RESOURCE_EXHAUSTED reply (not a
+// dropped connection), and the shed counter registers.
+func TestNetworkAdmissionShed(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.NewRegistry()
+	srv, addr := startShard(t, g, ServerOptions{Workers: 1, Queue: 1, Obs: reg})
+	defer srv.Close()
+	release := make(chan struct{})
+	defer close(release) // before srv.Close in LIFO order: parked handlers drain first
+	reached := make(chan struct{})
+	var once atomic.Bool
+	srv.gate = func(*core.ShardRequest) {
+		if once.CompareAndSwap(false, true) {
+			close(reached)
+		}
+		<-release
+	}
+
+	c := Dial(addr, ClientOptions{MaxAttempts: 1})
+	defer c.Close()
+	// Park one request mid-execution (holds worker slot + view)...
+	parked := make(chan struct{})
+	go func() {
+		c.Call(context.Background(), minimalRequest(0), nil)
+		close(parked)
+	}()
+	<-reached
+	// ...then fire requests until one is shed. A request that sneaks into
+	// the queue slot parks (its client side times out and moves on); once
+	// worker and queue are both full, the next one must shed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no shed observed with worker and queue saturated")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		resp, err := c.Call(ctx, minimalRequest(0), nil)
+		cancel()
+		if err != nil {
+			continue // parked in the queue slot; client gave up
+		}
+		if resp.Err != "" && resp.Code == xerr.ResourceExhausted {
+			break // the typed shed
+		}
+		t.Fatalf("saturated shard answered %+v, want RESOURCE_EXHAUSTED shed", resp)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "netout_shardsrv_shed_total") {
+		t.Error("shed counter not registered")
+	}
+	_ = parked
+}
+
+// A shard dropping the connection between request and reply is retried on a
+// fresh connection; the call succeeds without the caller seeing the drop.
+func TestClientRetriesAfterConnDrop(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	var conns int32
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			n := atomic.AddInt32(&conns, 1)
+			go func(conn net.Conn, n int32) {
+				defer conn.Close()
+				wire, err := ReadRequest(conn)
+				if err != nil {
+					return
+				}
+				if n == 1 {
+					return // drop without replying — mid-call EOF at the client
+				}
+				WriteResponse(conn, &core.ShardResponse{
+					Version: core.ShardProtocolVersion,
+					QueryID: wire.Req.QueryID,
+					Shard:   wire.Req.Shard,
+				})
+			}(conn, n)
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	c := Dial(lis.Addr().String(), ClientOptions{MaxAttempts: 3, Backoff: time.Millisecond, Obs: reg})
+	defer c.Close()
+	resp, err := c.Call(context.Background(), minimalRequest(0), nil)
+	if err != nil {
+		t.Fatalf("Call after conn drop: %v", err)
+	}
+	if resp.Err != "" || resp.Version != core.ShardProtocolVersion {
+		t.Fatalf("reply = %+v", resp)
+	}
+	if got := atomic.LoadInt32(&conns); got != 2 {
+		t.Fatalf("server saw %d connections, want 2 (drop + retry)", got)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "netout_shard_rpc_retries_total") {
+		t.Error("retry counter not registered")
+	}
+}
+
+// Hedging: when the first attempt stalls, a hedge launches after the hedge
+// delay and the call returns the fast replica's answer. The gated first
+// handler never completes until the test releases it, so a successful
+// return proves the hedge raced past it.
+func TestClientHedgedRequestWinsOverStall(t *testing.T) {
+	g := testGraph(t)
+	srv, addr := startShard(t, g, ServerOptions{})
+	defer srv.Close()
+	release := make(chan struct{})
+	defer close(release)
+	var first atomic.Bool
+	srv.gate = func(*core.ShardRequest) {
+		if first.CompareAndSwap(false, true) {
+			<-release
+		}
+	}
+
+	reg := obs.NewRegistry()
+	c := Dial(addr, ClientOptions{Hedge: 20 * time.Millisecond, Obs: reg})
+	defer c.Close()
+	resp, err := c.Call(context.Background(), minimalRequest(0), nil)
+	if err != nil {
+		t.Fatalf("hedged call: %v", err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("hedged call answered %+v", resp)
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "netout_shard_rpc_hedges_total") {
+		t.Error("hedge counter not registered")
+	}
+}
+
+// An expired or cancelled context never touches the network: the call
+// returns the context's own interrupt.
+func TestClientContextInterrupt(t *testing.T) {
+	c := Dial("127.0.0.1:1", ClientOptions{}) // nothing listens; must not matter
+	defer c.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := c.Call(ctx, minimalRequest(0), nil); xerr.CodeOf(err) != xerr.DeadlineExceeded {
+		t.Fatalf("expired ctx = %v, want DEADLINE_EXCEEDED", err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := c.Call(ctx2, minimalRequest(0), nil); xerr.CodeOf(err) != xerr.Canceled {
+		t.Fatalf("cancelled ctx = %v, want CANCELED", err)
+	}
+}
+
+// Deadline propagation end to end: a query deadline expires while one shard
+// is stalled; the stalled shard's loss is classified as the deadline, the
+// query degrades to the survivors' exact prefix, and nothing hangs past the
+// drain grace.
+func TestNetworkDeadlinePropagation(t *testing.T) {
+	g := testGraph(t)
+	want, err := core.NewEngine(g, core.WithMeasure(core.MeasureNetOut)).Execute(netQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScore := make(map[hin.VertexID]uint64, len(want.Entries))
+	for _, e := range want.Entries {
+		wantScore[e.Vertex] = math.Float64bits(e.Score)
+	}
+
+	remotes, servers, clients := fleetOf(t, g, 2,
+		ClientOptions{MaxAttempts: 1, DrainGrace: 200 * time.Millisecond})
+	release := make(chan struct{})
+	var once atomic.Bool
+	servers[1].gate = func(*core.ShardRequest) {
+		if once.CompareAndSwap(false, true) {
+			<-release
+		}
+	}
+
+	eng := core.NewEngine(g, core.WithMeasure(core.MeasureNetOut), core.WithRemoteShards(remotes...))
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := eng.ExecuteContext(ctx, netQuery)
+	elapsed := time.Since(start)
+	close(release)
+	closeFleet(servers, clients)
+	if err != nil {
+		t.Fatalf("deadline on one shard failed the query instead of degrading: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("Partial = false with one shard past the deadline")
+	}
+	if res.Shards[1].Done != 0 || !res.Shards[1].Partial {
+		t.Fatalf("stalled shard accounting = %+v", res.Shards[1])
+	}
+	if res.Shards[0].Done != res.Shards[0].Candidates {
+		t.Fatalf("healthy shard accounting = %+v", res.Shards[0])
+	}
+	for _, e := range res.Entries {
+		bits, ok := wantScore[e.Vertex]
+		if !ok || bits != math.Float64bits(e.Score) {
+			t.Fatalf("surviving score for %q not bit-identical", e.Name)
+		}
+	}
+	// Budget (250ms) + client drain grace (200ms) + scheduling headroom: the
+	// stalled shard must not pin the query anywhere near the release above.
+	if elapsed > 3*time.Second {
+		t.Fatalf("query took %v; deadline did not propagate", elapsed)
+	}
+}
+
+// A shard server answers requests on pooled connections across sequential
+// queries — the idle pool re-reads from the SAME buffered reader, so any
+// read-ahead loss would corrupt the second query's frames.
+func TestConnectionReuseAcrossQueries(t *testing.T) {
+	g := testGraph(t)
+	remotes, servers, clients := fleetOf(t, g, 2, ClientOptions{})
+	defer closeFleet(servers, clients)
+	eng := core.NewEngine(g, core.WithMeasure(core.MeasureNetOut), core.WithRemoteShards(remotes...))
+	defer eng.Close()
+	var first *core.Result
+	for i := 0; i < 5; i++ {
+		res, err := eng.Execute(netQuery)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if first == nil {
+			first = res
+		} else if !bitIdentical(first, res) {
+			t.Fatalf("query %d diverged from query 0 on reused connections", i)
+		}
+	}
+}

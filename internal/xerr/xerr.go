@@ -194,6 +194,41 @@ func Interrupt(cause error) *Error {
 	return &Error{code: code, kind: KindInterrupt, err: cause}
 }
 
+// FromWire reconstructs a classified error from the wire-safe triple a
+// shard ships across a network boundary (message text, code, kind). The
+// reconstruction preserves classification exactly — CodeOf and KindOf on
+// the result return the inputs — and a cause that stood for a context
+// sentinel on the far side keeps answering errors.Is against that sentinel,
+// so coordinator-side deadline checks treat a remote expiry like a local
+// one. Stacks do not cross the wire: a remote defect classifies as
+// KindDefect but StackOf returns "" (the remote's own log has the frames).
+// An empty code classifies INTERNAL, mirroring CodeOf's default.
+func FromWire(code Code, kind Kind, msg string) *Error {
+	if code == "" {
+		code = Internal
+	}
+	var cause error
+	switch code {
+	case Canceled:
+		cause = &wireCause{msg: msg, is: context.Canceled}
+	case DeadlineExceeded:
+		cause = &wireCause{msg: msg, is: context.DeadlineExceeded}
+	default:
+		cause = errors.New(msg)
+	}
+	return &Error{code: code, kind: kind, err: cause}
+}
+
+// wireCause is a deserialized error cause that keeps errors.Is working
+// against the context sentinel it stood for on the far side of the wire.
+type wireCause struct {
+	msg string
+	is  error
+}
+
+func (w *wireCause) Error() string        { return w.msg }
+func (w *wireCause) Is(target error) bool { return target == w.is }
+
 // WithRequestID returns err wrapped with a per-request correlation ID,
 // preserving classification and the full unwrap chain (errors.Is against
 // the original error and any sentinel it wraps keeps working). nil err or

@@ -231,18 +231,37 @@ func WithShards(n int) EngineOption { return core.WithShards(n) }
 // for sharded executions.
 type ShardStatus = core.ShardStatus
 
-// The versioned, transport-agnostic shard protocol: a coordinator speaks to
-// shards in ShardRequest/ShardResponse pairs. In this release both ends live
-// in one process; the types are the stable contract a network transport
-// will carry later.
+// The versioned shard protocol: a coordinator speaks to shards in
+// ShardRequest/ShardResponse pairs, with the reference reduction broadcast
+// alongside as a ShardBroadcast. In-process shards share the reduction by
+// pointer; internal/shardnet serializes exactly these messages across a
+// network boundary.
 type (
-	ShardRequest  = core.ShardRequest
-	ShardResponse = core.ShardResponse
+	ShardRequest   = core.ShardRequest
+	ShardResponse  = core.ShardResponse
+	ShardBroadcast = core.ShardBroadcast
+	ShardRefState  = core.ShardRefState
 )
 
 // ShardProtocolVersion is the current shard protocol version, stamped on
-// every ShardRequest and echoed by every ShardResponse.
+// every ShardRequest and echoed by every ShardResponse. Both sides of the
+// wire enforce it: shard servers reject requests from a foreign revision,
+// and coordinators fail queries whose replies carry one.
 const ShardProtocolVersion = core.ShardProtocolVersion
+
+// RemoteShard is a coordinator-side client for one out-of-process shard
+// (implemented by shardnet.Client); see WithRemoteShards.
+type RemoteShard = core.RemoteShard
+
+// WithRemoteShards scatters queries across out-of-process shard servers,
+// one RemoteShard client per shard in shard order, instead of resident
+// goroutines. Results stay bit-identical to unsharded execution while every
+// shard is healthy; a lost, shed or panicking remote shard degrades the
+// query to an exact-prefix partial. Takes precedence over WithShards. The
+// engine does not own the clients — close them where they were dialed.
+func WithRemoteShards(shards ...RemoteShard) EngineOption {
+	return core.WithRemoteShards(shards...)
+}
 
 // NewBaseline returns the traversal-only materializer.
 func NewBaseline(g *Graph) Materializer { return core.NewBaseline(g) }
